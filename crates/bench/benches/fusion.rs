@@ -1,0 +1,43 @@
+//! The kernel-fusion ablation as a Criterion benchmark (Figure 5): the
+//! fused virtual-tensor score kernels against their materializing
+//! counterparts, per model.
+
+use atgnn_graphgen::kronecker;
+use atgnn_sparse::fused;
+use atgnn_tensor::init;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion");
+    group.sample_size(10);
+    for n_exp in [9usize, 11] {
+        let n = 1usize << n_exp;
+        let a = kronecker::adjacency::<f32>(n, n * 16, 5);
+        let h = init::features::<f32>(a.rows(), 32, 7);
+        let u = init::glorot_vec::<f32>(a.rows(), 1);
+        let v = init::glorot_vec::<f32>(a.rows(), 2);
+        let id = format!("n{n}");
+        group.bench_with_input(BenchmarkId::new("va_fused", &id), &(), |b, _| {
+            b.iter(|| std::hint::black_box(fused::va_scores(&a, &h)))
+        });
+        group.bench_with_input(BenchmarkId::new("va_unfused", &id), &(), |b, _| {
+            b.iter(|| std::hint::black_box(fused::unfused_va_scores(&a, &h)))
+        });
+        group.bench_with_input(BenchmarkId::new("gat_fused", &id), &(), |b, _| {
+            b.iter(|| std::hint::black_box(fused::gat_scores(&a, &u, &v, 0.2)))
+        });
+        group.bench_with_input(BenchmarkId::new("gat_unfused", &id), &(), |b, _| {
+            b.iter(|| std::hint::black_box(fused::unfused_gat_scores(&a, &u, &v, 0.2)))
+        });
+        group.bench_with_input(BenchmarkId::new("agnn_fused", &id), &(), |b, _| {
+            b.iter(|| std::hint::black_box(fused::agnn_scores(&a, &h, 1.0f32)))
+        });
+        group.bench_with_input(BenchmarkId::new("agnn_unfused", &id), &(), |b, _| {
+            b.iter(|| std::hint::black_box(fused::unfused_agnn_scores(&a, &h, 1.0f32)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbenchmarks of the Table 2 kernel set: SpMM (all semirings),
+//! SDDMM, MM, SpMMM, MSpMM, graph softmax, and the rep/sum building
+//! blocks.
+
+use atgnn_graphgen::kronecker;
+use atgnn_sparse::{masked, sddmm, semiring, spmm};
+use atgnn_tensor::{blocks, gemm, init};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    for n_exp in [11usize, 13] {
+        let n = 1usize << n_exp;
+        let a = kronecker::adjacency::<f32>(n, n * 16, 3);
+        for k in [16usize, 128] {
+            let h = init::features::<f32>(n, k, 5);
+            let w = init::glorot::<f32>(k, k, 7);
+            let id = format!("n{n}_k{k}");
+            group.bench_with_input(BenchmarkId::new("spmm_real", &id), &(), |b, _| {
+                b.iter(|| std::hint::black_box(spmm::spmm(&a, &h)))
+            });
+            group.bench_with_input(BenchmarkId::new("spmm_minplus", &id), &(), |b, _| {
+                b.iter(|| std::hint::black_box(spmm::spmm_semiring(&semiring::MinPlus, &a, &h)))
+            });
+            group.bench_with_input(BenchmarkId::new("spmm_average", &id), &(), |b, _| {
+                b.iter(|| std::hint::black_box(spmm::spmm_semiring(&semiring::Average, &a, &h)))
+            });
+            group.bench_with_input(BenchmarkId::new("spmm_transpose", &id), &(), |b, _| {
+                b.iter(|| std::hint::black_box(spmm::spmm_t(&a, &h)))
+            });
+            group.bench_with_input(BenchmarkId::new("sddmm", &id), &(), |b, _| {
+                b.iter(|| std::hint::black_box(sddmm::sddmm_pattern(&a, &h, &h)))
+            });
+            group.bench_with_input(BenchmarkId::new("mm", &id), &(), |b, _| {
+                b.iter(|| std::hint::black_box(gemm::matmul(&h, &w)))
+            });
+            group.bench_with_input(BenchmarkId::new("spmmm", &id), &(), |b, _| {
+                b.iter(|| std::hint::black_box(spmm::spmmm(&a, &h, &w, None)))
+            });
+            group.bench_with_input(BenchmarkId::new("mspmm", &id), &(), |b, _| {
+                let m = init::features::<f32>(k, n, 9);
+                b.iter(|| std::hint::black_box(spmm::mspmm(&m, &a, &h)))
+            });
+            let scores = sddmm::sddmm_pattern(&a, &h, &h);
+            group.bench_with_input(BenchmarkId::new("graph_softmax", &id), &(), |b, _| {
+                b.iter(|| std::hint::black_box(masked::row_softmax(&scores)))
+            });
+            group.bench_with_input(BenchmarkId::new("row_l2_norms", &id), &(), |b, _| {
+                b.iter(|| std::hint::black_box(blocks::row_l2_norms(&h)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Figure 5 ablation: fused virtual-tensor kernels vs materialized
+//! intermediates.
+//!
+//! The paper's Section 6.1–6.2: the dense `n×n` score matrix is virtual;
+//! fusing the path from the virtual matrix to the first sparse sampler
+//! into an SDDMM-like kernel avoids `O(n²)` memory and `O(n²k)` time.
+//! This harness measures both paths (the unfused one materializes the
+//! intermediates) and reports the speedup and memory ratio.
+
+use atgnn_bench::measure::time_median;
+use atgnn_bench::report::{Record, Reporter};
+use atgnn_bench::scale;
+use atgnn_graphgen::kronecker;
+use atgnn_sparse::fused;
+use atgnn_tensor::init;
+
+fn main() {
+    let mut rep = Reporter::new("ablation_fusion");
+    let k = 32;
+    for exp in [9usize, 10, 11] {
+        let n = (1usize << exp) * scale();
+        let a = kronecker::adjacency::<f32>(n, n * 16, 5);
+        let h = init::features::<f32>(a.rows(), k, 7);
+        let u = init::glorot_vec::<f32>(a.rows(), 1);
+        let v = init::glorot_vec::<f32>(a.rows(), 2);
+        let cases: Vec<(&str, f64, f64)> = vec![
+            (
+                "VA",
+                time_median(|| {
+                    std::hint::black_box(fused::va_scores(&a, &h));
+                }),
+                time_median(|| {
+                    std::hint::black_box(fused::unfused_va_scores(&a, &h));
+                }),
+            ),
+            (
+                "GAT",
+                time_median(|| {
+                    std::hint::black_box(fused::gat_scores(&a, &u, &v, 0.2));
+                }),
+                time_median(|| {
+                    std::hint::black_box(fused::unfused_gat_scores(&a, &u, &v, 0.2));
+                }),
+            ),
+            (
+                "AGNN",
+                time_median(|| {
+                    std::hint::black_box(fused::agnn_scores(&a, &h, 1.0f32));
+                }),
+                time_median(|| {
+                    std::hint::black_box(fused::unfused_agnn_scores(&a, &h, 1.0f32));
+                }),
+            ),
+        ];
+        let mem_fused = a.nnz() * 4;
+        let mem_unfused = a.rows() * a.rows() * 4;
+        for (model, t_fused, t_unfused) in cases {
+            println!(
+                "n={n:<6} {model:<5} fused={t_fused:.5}s unfused={t_unfused:.5}s speedup={:.1}x memory {}B vs {}B ({:.0}x)",
+                t_unfused / t_fused,
+                mem_fused,
+                mem_unfused,
+                mem_unfused as f64 / mem_fused as f64
+            );
+            for (system, t, bytes) in [
+                ("fused", t_fused, mem_fused),
+                ("unfused", t_unfused, mem_unfused),
+            ] {
+                rep.push(Record {
+                    experiment: format!("fusion_n{n}"),
+                    model: model.into(),
+                    system: system.into(),
+                    task: "scores".into(),
+                    n,
+                    m: a.nnz(),
+                    k,
+                    layers: 1,
+                    p: 1,
+                    compute_s: t,
+                    comm_bytes: bytes as u64,
+                    supersteps: 0,
+                    modeled_s: t,
+                });
+            }
+            // The paper's claim: fusion must never lose on sparse graphs.
+            assert!(
+                t_fused < t_unfused,
+                "{model} at n={n}: fusion slower than materialization?"
+            );
+        }
+    }
+    rep.write_csv().expect("write results");
+}

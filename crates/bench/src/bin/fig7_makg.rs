@@ -1,0 +1,74 @@
+//! Figure 7 (two leftmost panels): strong scaling on the MS Academic
+//! Knowledge Graph, inference **and** training.
+//!
+//! MAKG (111M vertices / 3.2B edges) is substituted by the `makg_like`
+//! Kronecker preset (same ~29 edges/vertex density regime, heavy-tail
+//! degrees) at a machine-fitting scale — see DESIGN.md §2. The paper
+//! sweeps k ∈ {16, 64, 128} and nodes up to 1024; we sweep the same k
+//! with the scaled node counts.
+
+use atgnn::ModelKind;
+use atgnn_bench::measure::{comm_global, compute_global, Task};
+use atgnn_bench::report::{Record, Reporter};
+use atgnn_bench::{imbalance_2d, scale};
+use atgnn_graphgen::{kronecker, stats::DegreeStats};
+use atgnn_net::MachineModel;
+
+fn main() {
+    let machine = MachineModel::aries();
+    let layers = 3;
+    let mut rep = Reporter::new("fig7_makg");
+    let n = (1usize << 14) * scale();
+    let a = kronecker::makg_like::<f32>(n, 111);
+    println!("MAKG-like graph: {}", DegreeStats::of(&a));
+    let ps = [4usize, 16, 64, 256];
+    for task in [Task::Inference, Task::Training] {
+        for k in [16usize, 64, 128] {
+            for kind in ModelKind::ATTENTIONAL {
+                let t1 = compute_global(kind, &a, k, layers, task);
+                for &p in &ps {
+                    let stats = comm_global(kind, &a, k, layers, p, task);
+                    let imb = imbalance_2d(&a, p);
+                    let modeled = machine.time(
+                        t1 / p as f64 * imb,
+                        stats.max_rank_bytes(),
+                        stats.max_supersteps(),
+                    );
+                    rep.push(Record {
+                        experiment: format!("fig7_makg_{}", task.name()),
+                        model: kind.name().to_string(),
+                        system: "global".into(),
+                        task: task.name().into(),
+                        n: a.rows(),
+                        m: a.nnz(),
+                        k,
+                        layers,
+                        p,
+                        compute_s: t1,
+                        comm_bytes: stats.max_rank_bytes(),
+                        supersteps: stats.max_supersteps(),
+                        modeled_s: modeled,
+                    });
+                }
+            }
+        }
+    }
+    // Parallel-efficiency summary (the paper reports excellent scaling
+    // characteristics on MAKG).
+    println!("-- parallel efficiency (training, k=16) --");
+    for kind in ModelKind::ATTENTIONAL {
+        let rows: Vec<_> = rep
+            .records()
+            .iter()
+            .filter(|r| r.model == kind.name() && r.k == 16 && r.task == "training")
+            .cloned()
+            .collect();
+        if let Some(first) = rows.first() {
+            for r in &rows {
+                let eff = (first.modeled_s * first.p as f64) / (r.modeled_s * r.p as f64);
+                println!("{} p={}: efficiency {:.2}", kind.name(), r.p, eff);
+            }
+        }
+    }
+    rep.write_csv().expect("write results");
+}

@@ -1,0 +1,108 @@
+//! Figure 7 (three rightmost panels) and §8.4: weak scaling on uniform
+//! random (Erdős–Rényi) graphs, inference — the empirical verification of
+//! the communication-cost analysis.
+//!
+//! The paper scales `n ∝ √nodes` with fixed density ρ ∈ {1%, 0.1%,
+//! 0.01%}, and compares the global formulation against the local one
+//! (DistDGL). It also runs a C-GNN (simple graph convolution) as the
+//! special case `Ψ = A`. The key §8.4 prediction: "with the decreasing
+//! density ρ the difference between DistDGL and our work consistently
+//! decreases" (ER analysis: local volume `O(n²kq/p)`, crossover at
+//! `q ≈ √p/n`).
+
+use atgnn::ModelKind;
+use atgnn_bench::measure::{comm_global, comm_local, compute_global, compute_local, Task};
+use atgnn_bench::report::{Record, Reporter};
+use atgnn_bench::{imbalance_1d, imbalance_2d, scale};
+use atgnn_graphgen::erdos_renyi;
+use atgnn_net::MachineModel;
+
+fn main() {
+    let machine = MachineModel::aries();
+    let layers = 3;
+    let k = 16;
+    let mut rep = Reporter::new("fig7_weak_rand");
+    let base_n = (1usize << 12) * scale();
+    let ps = [1usize, 4, 16, 64];
+    let densities = [("rho1pct", 0.01), ("rho0.1pct", 0.001), ("rho0.01pct", 0.0001)];
+    let kinds = [
+        ModelKind::Va,
+        ModelKind::Agnn,
+        ModelKind::Gat,
+        ModelKind::Gcn, // the §8.4 C-GNN special case
+    ];
+    for (tag, rho) in densities {
+        for &p in &ps {
+            // Weak scaling: n ∝ √p, m = ρ n² (so m ∝ p).
+            let n = (base_n as f64 * (p as f64).sqrt()) as usize;
+            let m = ((n as f64) * (n as f64) * rho) as usize;
+            let a = erdos_renyi::adjacency::<f32>(n, m.max(n), 42);
+            for kind in kinds {
+                // Global formulation.
+                let t1g = compute_global(kind, &a, k, layers, Task::Inference);
+                let gs = comm_global(kind, &a, k, layers, p, Task::Inference);
+                let tg = machine.time(
+                    t1g / p as f64 * imbalance_2d(&a, p),
+                    gs.max_rank_bytes(),
+                    gs.max_supersteps(),
+                );
+                rep.push(Record {
+                    experiment: format!("fig7_{tag}"),
+                    model: kind.name().into(),
+                    system: "global".into(),
+                    task: "inference".into(),
+                    n,
+                    m: a.nnz(),
+                    k,
+                    layers,
+                    p,
+                    compute_s: t1g,
+                    comm_bytes: gs.max_rank_bytes(),
+                    supersteps: gs.max_supersteps(),
+                    modeled_s: tg,
+                });
+                // Local formulation (the DistDGL execution model).
+                let t1l = compute_local(kind, &a, k, layers);
+                let ls = comm_local(kind, &a, k, layers, p, Task::Inference);
+                let tl = machine.time(
+                    t1l / p as f64 * imbalance_1d(&a, p),
+                    ls.max_rank_bytes(),
+                    ls.max_supersteps(),
+                );
+                rep.push(Record {
+                    experiment: format!("fig7_{tag}"),
+                    model: kind.name().into(),
+                    system: "local".into(),
+                    task: "inference".into(),
+                    n,
+                    m: a.nnz(),
+                    k,
+                    layers,
+                    p,
+                    compute_s: t1l,
+                    comm_bytes: ls.max_rank_bytes(),
+                    supersteps: ls.max_supersteps(),
+                    modeled_s: tl,
+                });
+            }
+        }
+    }
+    rep.print_speedups("local");
+    // The §8.4 trend: the local/global volume gap must shrink as ρ drops.
+    println!("-- local/global volume ratio by density (largest p) --");
+    for (tag, _) in densities {
+        let exp = format!("fig7_{tag}");
+        let pick = |system: &str| {
+            rep.records()
+                .iter()
+                .filter(|r| r.experiment == exp && r.system == system && r.model == "VA")
+                .max_by_key(|r| r.p)
+                .map(|r| r.comm_bytes)
+                .unwrap_or(0)
+        };
+        let l = pick("local");
+        let g = pick("global").max(1);
+        println!("{tag}: local/global volume = {:.2}", l as f64 / g as f64);
+    }
+    rep.write_csv().expect("write results");
+}

@@ -1,0 +1,101 @@
+//! Figure 8: weak scaling of **training** on Kronecker graphs.
+//!
+//! The paper scales `n ∝ √nodes` at fixed density ρ (panels for 1%, 0.1%,
+//! 0.01%), k = 16, and reports that the global formulations retain high
+//! parallel efficiency (e.g. VA "retains up to 57% parallel efficiency on
+//! 512 nodes") while the per-rank communication stays nearly flat.
+
+use atgnn::ModelKind;
+use atgnn_bench::measure::{comm_global, compute_global, minibatch_time, Task};
+use atgnn_bench::report::{Record, Reporter};
+use atgnn_bench::{imbalance_2d, scale};
+use atgnn_baseline::minibatch;
+use atgnn_graphgen::kronecker;
+use atgnn_net::MachineModel;
+
+fn main() {
+    let machine = MachineModel::aries();
+    let layers = 3;
+    let k = 16;
+    let mut rep = Reporter::new("fig8_weak_kron");
+    let base_n = (1usize << 12) * scale();
+    let ps = [1usize, 4, 16, 64];
+    let densities = [("rho1pct", 0.01), ("rho0.1pct", 0.001), ("rho0.01pct", 0.0001)];
+    for (tag, rho) in densities {
+        for &p in &ps {
+            let n = (base_n as f64 * (p as f64).sqrt()) as usize;
+            let m = (((n as f64) * (n as f64) * rho) as usize).max(n);
+            let a = kronecker::adjacency::<f32>(n, m, 77);
+            for kind in ModelKind::ATTENTIONAL {
+                let t1 = compute_global(kind, &a, k, layers, Task::Training);
+                let stats = comm_global(kind, &a, k, layers, p, Task::Training);
+                let imb = imbalance_2d(&a, p);
+                let modeled = machine.time(
+                    t1 / p as f64 * imb,
+                    stats.max_rank_bytes(),
+                    stats.max_supersteps(),
+                );
+                rep.push(Record {
+                    experiment: format!("fig8_{tag}"),
+                    model: kind.name().into(),
+                    system: "global".into(),
+                    task: "training".into(),
+                    n: a.rows(),
+                    m: a.nnz(),
+                    k,
+                    layers,
+                    p,
+                    compute_s: t1,
+                    comm_bytes: stats.max_rank_bytes(),
+                    supersteps: stats.max_supersteps(),
+                    modeled_s: modeled,
+                });
+            }
+            // DistDGL stand-in for the same panel, with the paper's 16k
+            // batch scaled by the graph scale factor (1/64).
+            let batch_size = (minibatch::PAPER_BATCH_SIZE / 64 * scale()).max(64);
+            let (t, fetch) =
+                minibatch_time(&machine, ModelKind::Gat, &a, k, layers, p, batch_size);
+            rep.push(Record {
+                experiment: format!("fig8_{tag}"),
+                model: "DistDGL-standin".into(),
+                system: "minibatch".into(),
+                task: "training".into(),
+                n: a.rows(),
+                m: a.nnz(),
+                k,
+                layers,
+                p,
+                compute_s: t,
+                comm_bytes: fetch,
+                supersteps: (2 * layers) as u64,
+                modeled_s: t,
+            });
+        }
+    }
+    // Weak-scaling parallel efficiency: T(1)/T(p) for n ∝ √p workloads.
+    println!("-- weak-scaling parallel efficiency --");
+    for (tag, _) in densities {
+        let exp = format!("fig8_{tag}");
+        for kind in ModelKind::ATTENTIONAL {
+            let rows: Vec<_> = rep
+                .records()
+                .iter()
+                .filter(|r| r.experiment == exp && r.model == kind.name())
+                .cloned()
+                .collect();
+            if let Some(first) = rows.first() {
+                for r in &rows {
+                    println!(
+                        "{tag} {} p={}: efficiency {:.2}",
+                        kind.name(),
+                        r.p,
+                        first.modeled_s / r.modeled_s
+                    );
+                }
+            }
+        }
+    }
+    rep.print_speedups("minibatch");
+    rep.write_csv().expect("write results");
+}

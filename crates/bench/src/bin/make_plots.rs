@@ -1,0 +1,43 @@
+//! Renders every `results/*.csv` into `results/plots/*.svg` — the Rust
+//! counterpart of the artifact's `plots/create_plots_artifact.py`
+//! ("the resulting PDF files can be found in the directory
+//! plots/plots_new"; we emit SVG).
+//!
+//! ```sh
+//! cargo run --release -p atgnn-bench --bin make_plots
+//! ```
+
+use atgnn_bench::plot::{parse_results_csv, plots_from_rows};
+
+fn main() {
+    let results = std::path::Path::new("results");
+    let out_dir = results.join("plots");
+    std::fs::create_dir_all(&out_dir).expect("create results/plots");
+    let mut rendered = 0usize;
+    let entries = match std::fs::read_dir(results) {
+        Ok(e) => e,
+        Err(_) => {
+            eprintln!("no results/ directory — run the figure harnesses first");
+            return;
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        let name = path.file_stem().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).expect("read csv");
+        let rows = parse_results_csv(&text);
+        if rows.is_empty() {
+            continue;
+        }
+        for (plot_name, plot) in plots_from_rows(&rows, &name) {
+            let svg_path = out_dir.join(format!("{plot_name}.svg"));
+            std::fs::write(&svg_path, plot.to_svg()).expect("write svg");
+            println!("wrote {}", svg_path.display());
+            rendered += 1;
+        }
+    }
+    println!("{rendered} plots rendered");
+}

@@ -1,0 +1,56 @@
+//! §8.1 parameter sweep: runtime vs layer count L ∈ {2..10} and feature
+//! width k ∈ {16, 32, 128}, single node, all models, inference and
+//! training — the paper's stated parameter ranges.
+
+use atgnn::ModelKind;
+use atgnn_bench::measure::{compute_global, Task};
+use atgnn_bench::report::{Record, Reporter};
+use atgnn_bench::scale;
+use atgnn_graphgen::kronecker;
+
+fn main() {
+    let mut rep = Reporter::new("sweep_layers");
+    let n = (1usize << 12) * scale();
+    let a = kronecker::adjacency::<f32>(n, n * 16, 21);
+    let kinds = [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat, ModelKind::Gcn];
+    for task in [Task::Inference, Task::Training] {
+        for k in [16usize, 32, 128] {
+            for layers in [2usize, 4, 6, 8, 10] {
+                for kind in kinds {
+                    let t = compute_global(kind, &a, k, layers, task);
+                    rep.push(Record {
+                        experiment: "sweep".into(),
+                        model: kind.name().into(),
+                        system: "global".into(),
+                        task: task.name().into(),
+                        n: a.rows(),
+                        m: a.nnz(),
+                        k,
+                        layers,
+                        p: 1,
+                        compute_s: t,
+                        comm_bytes: 0,
+                        supersteps: 0,
+                        modeled_s: t,
+                    });
+                }
+            }
+        }
+    }
+    // Runtime must grow ~linearly in L: check the endpoints.
+    println!("-- linearity in L (training, k=16) --");
+    for kind in kinds {
+        let get = |l: usize| {
+            rep.records()
+                .iter()
+                .find(|r| {
+                    r.model == kind.name() && r.layers == l && r.k == 16 && r.task == "training"
+                })
+                .map(|r| r.compute_s)
+                .unwrap()
+        };
+        let ratio = get(10) / get(2);
+        println!("{}: T(L=10)/T(L=2) = {ratio:.2} (ideal 5)", kind.name());
+    }
+    rep.write_csv().expect("write results");
+}

@@ -1,0 +1,77 @@
+//! The artifact's `unified_distr_bench.py`, in Rust: one distributed
+//! configuration on the simulated cluster (`-p` ranks instead of the
+//! artifact's `mpirun -n`), reporting the measured communication and the
+//! modeled runtime, appended to `results/unified_results.csv`.
+//!
+//! ```sh
+//! cargo run --release -p atgnn-bench --bin unified_distr_bench -- \
+//!     -p 16 -m GAT -v 10000 -e 1000000
+//! ```
+
+use atgnn_bench::cli::Cli;
+use atgnn_bench::measure::{comm_global, compute_global, Task};
+use atgnn_bench::imbalance_2d;
+use atgnn_net::MachineModel;
+use std::io::Write;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    cli.apply_timing_env();
+    let task = if cli.inference {
+        Task::Inference
+    } else {
+        Task::Training
+    };
+    let a = cli.build_graph();
+    let t1 = compute_global(cli.model, &a, cli.features, cli.layers, task);
+    let stats = comm_global(cli.model, &a, cli.features, cli.layers, cli.processes, task);
+    let machine = MachineModel::aries();
+    let imb = imbalance_2d(&a, cli.processes);
+    let modeled = machine.time(
+        t1 / cli.processes as f64 * imb,
+        stats.max_rank_bytes(),
+        stats.max_supersteps(),
+    );
+    println!(
+        "model={} task={} n={} e={} k={} L={} p={} -> compute(1 node) {:.6}s, \
+         comm {} B/rank over {} supersteps, imbalance {:.2}, modeled {:.6}s",
+        cli.model.name(),
+        task.name(),
+        a.rows(),
+        a.nnz(),
+        cli.features,
+        cli.layers,
+        cli.processes,
+        t1,
+        stats.max_rank_bytes(),
+        stats.max_supersteps(),
+        imb,
+        modeled
+    );
+    std::fs::create_dir_all("results").ok();
+    let path = "results/unified_results.csv";
+    let fresh = !std::path::Path::new(path).exists();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open results file");
+    if fresh {
+        writeln!(f, "bench,model,task,vertices,edges,features,layers,processes,type,seed,median_s").ok();
+    }
+    writeln!(
+        f,
+        "distr,{},{},{},{},{},{},{},{},{},{:.6}",
+        cli.model.name(),
+        task.name(),
+        a.rows(),
+        a.nnz(),
+        cli.features,
+        cli.layers,
+        cli.processes,
+        if cli.f64_mode { "float64" } else { "float32" },
+        cli.seed,
+        modeled
+    )
+    .ok();
+}

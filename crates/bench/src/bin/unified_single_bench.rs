@@ -1,0 +1,96 @@
+//! The artifact's `unified_single_bench.py`, in Rust: benchmark one
+//! model/task/graph configuration on a single (simulated) node and append
+//! the result to `results/unified_results.csv`.
+//!
+//! ```sh
+//! cargo run --release -p atgnn-bench --bin unified_single_bench -- \
+//!     -m VA -v 10000 -e 1000000
+//! ```
+
+use atgnn::loss::Mse;
+use atgnn::optimizer::Sgd;
+use atgnn::GnnModel;
+use atgnn_bench::cli::Cli;
+use atgnn_bench::measure::time_median;
+use atgnn_tensor::{init, Activation, Scalar};
+use std::io::Write;
+
+fn run<T: Scalar>(cli: &Cli) -> (f64, f64) {
+    let a32 = cli.build_graph();
+    // Rebuild at the requested precision through the COO path.
+    let a = {
+        let coo = a32.to_coo();
+        let mut out = atgnn_sparse::Coo::<T>::new(coo.rows(), coo.cols());
+        for (&(r, c), &v) in coo.entries.iter().zip(&coo.values) {
+            out.push(r, c, T::from_f64(v.to_f64()));
+        }
+        atgnn_sparse::Csr::from_coo(&out)
+    };
+    let a = GnnModel::<T>::prepare_adjacency(cli.model, &a);
+    let n = a.rows();
+    let x = init::features::<T>(n, cli.features, cli.seed ^ 0xfeed);
+    let dims = vec![cli.features; cli.layers + 1];
+    if cli.inference {
+        let model = GnnModel::<T>::uniform(cli.model, &dims, Activation::Relu, cli.seed);
+        let t = time_median(|| {
+            std::hint::black_box(model.inference(&a, &x));
+        });
+        (t, 0.0)
+    } else {
+        let target = init::features::<T>(n, cli.features, cli.seed ^ 0xbeef);
+        let loss = Mse::new(target);
+        let mut model = GnnModel::<T>::uniform(cli.model, &dims, Activation::Relu, cli.seed);
+        let mut opt = Sgd::new(T::from_f64(1e-4));
+        let t = time_median(|| {
+            std::hint::black_box(model.train_step(&a, &x, &loss, &mut opt));
+        });
+        (t, 0.0)
+    }
+}
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    cli.apply_timing_env();
+    let (median_s, _) = if cli.f64_mode {
+        run::<f64>(&cli)
+    } else {
+        run::<f32>(&cli)
+    };
+    let task = if cli.inference { "inference" } else { "training" };
+    println!(
+        "model={} task={task} n={} e={} k={} L={} type={} seed={} -> median {:.6}s",
+        cli.model.name(),
+        cli.vertices,
+        cli.edges,
+        cli.features,
+        cli.layers,
+        if cli.f64_mode { "float64" } else { "float32" },
+        cli.seed,
+        median_s
+    );
+    // Append to the artifact-style unified results file.
+    std::fs::create_dir_all("results").ok();
+    let path = "results/unified_results.csv";
+    let fresh = !std::path::Path::new(path).exists();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open results file");
+    if fresh {
+        writeln!(f, "bench,model,task,vertices,edges,features,layers,processes,type,seed,median_s").ok();
+    }
+    writeln!(
+        f,
+        "single,{},{task},{},{},{},{},1,{},{},{:.6}",
+        cli.model.name(),
+        cli.vertices,
+        cli.edges,
+        cli.features,
+        cli.layers,
+        if cli.f64_mode { "float64" } else { "float32" },
+        cli.seed,
+        median_s
+    )
+    .ok();
+}

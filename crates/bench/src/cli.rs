@@ -1,0 +1,235 @@
+//! The artifact's command-line interface, reproduced.
+//!
+//! The paper's artifact drives every experiment through two scripts with
+//! a shared flag set (`unified_single_bench.py` / `unified_distr_bench.py`);
+//! this module parses the same flags for the Rust binaries:
+//!
+//! ```text
+//! -s/--seed       RNG seed (default 0 — "we used the default seed")
+//! -v/--vertices   vertex count (Kronecker rounds down to a power of two)
+//! -e/--edges      edge count
+//! -t/--type       float32 | float64
+//! -m/--model      VA | GAT | AGNN (we also accept GCN)
+//! -f/--file       load the adjacency matrix from a COO file
+//! -d/--dataset    kronecker | uniform
+//! --features      feature width k
+//! --inference     inference only (no intermediate caching)
+//! -l/--layers     GNN layer count
+//! --repeat        timed repetitions (artifact default 10)
+//! --warmup        warmup runs (artifact default 2)
+//! -p/--processes  simulated rank count (distributed binary only)
+//! ```
+
+use atgnn::ModelKind;
+use atgnn_sparse::Csr;
+
+/// Parsed CLI configuration.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// RNG seed.
+    pub seed: u64,
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// `float32` or `float64`.
+    pub f64_mode: bool,
+    /// The model under test.
+    pub model: ModelKind,
+    /// Optional adjacency file (COO format).
+    pub file: Option<String>,
+    /// Generator: `kronecker` (default) or `uniform`.
+    pub dataset: String,
+    /// Feature width `k`.
+    pub features: usize,
+    /// Inference-only mode.
+    pub inference: bool,
+    /// Layer count `L`.
+    pub layers: usize,
+    /// Timed repetitions.
+    pub repeat: usize,
+    /// Warmup runs.
+    pub warmup: usize,
+    /// Simulated ranks (distributed binary).
+    pub processes: usize,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            vertices: 10_000,
+            edges: 100_000,
+            f64_mode: false,
+            model: ModelKind::Va,
+            file: None,
+            dataset: "kronecker".into(),
+            features: 16,
+            inference: false,
+            layers: 3,
+            repeat: 10,
+            warmup: 2,
+            processes: 4,
+        }
+    }
+}
+
+impl Cli {
+    /// Parses the artifact flag set from an argument iterator.
+    ///
+    /// # Panics
+    /// Panics with a usage message on unknown flags or malformed values.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut cli = Cli::default();
+        let mut it = args.collect::<Vec<_>>().into_iter();
+        fn value(it: &mut std::vec::IntoIter<String>, flag: &str) -> String {
+            it.next()
+                .unwrap_or_else(|| panic!("flag {flag} expects a value"))
+        }
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "-s" | "--seed" => cli.seed = value(&mut it, &flag).parse().expect("seed"),
+                "-v" | "--vertices" => {
+                    cli.vertices = value(&mut it, &flag).parse().expect("vertices")
+                }
+                "-e" | "--edges" => cli.edges = value(&mut it, &flag).parse().expect("edges"),
+                "-t" | "--type" => {
+                    let t = value(&mut it, &flag);
+                    cli.f64_mode = match t.as_str() {
+                        "float32" => false,
+                        "float64" => true,
+                        other => panic!("unknown type {other} (float32|float64)"),
+                    };
+                }
+                "-m" | "--model" => {
+                    let m = value(&mut it, &flag);
+                    cli.model = match m.as_str() {
+                        "VA" | "va" => ModelKind::Va,
+                        "GAT" | "gat" => ModelKind::Gat,
+                        "AGNN" | "agnn" => ModelKind::Agnn,
+                        "GCN" | "gcn" => ModelKind::Gcn,
+                        other => panic!("unknown model {other} (VA|GAT|AGNN|GCN)"),
+                    };
+                }
+                "-f" | "--file" => cli.file = Some(value(&mut it, &flag)),
+                "-d" | "--dataset" => cli.dataset = value(&mut it, &flag),
+                "--features" => cli.features = value(&mut it, &flag).parse().expect("features"),
+                "--inference" => cli.inference = true,
+                "-l" | "--layers" => cli.layers = value(&mut it, &flag).parse().expect("layers"),
+                "--repeat" => cli.repeat = value(&mut it, &flag).parse().expect("repeat"),
+                "--warmup" => cli.warmup = value(&mut it, &flag).parse().expect("warmup"),
+                "-p" | "--processes" => {
+                    cli.processes = value(&mut it, &flag).parse().expect("processes")
+                }
+                "-h" | "--help" => {
+                    println!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}\n{USAGE}"),
+            }
+        }
+        cli
+    }
+
+    /// Builds the adjacency matrix per the flags: from a COO file
+    /// (`-f`, vertex/edge counts read from the file as in the artifact)
+    /// or a generator (`-d kronecker|uniform`).
+    pub fn build_graph(&self) -> Csr<f32> {
+        if let Some(path) = &self.file {
+            let coo = atgnn_graphgen::io::load_coo::<f32>(std::path::Path::new(path))
+                .expect("failed to load COO file");
+            return atgnn_graphgen::prepare_adjacency(coo, self.seed);
+        }
+        match self.dataset.as_str() {
+            "kronecker" => atgnn_graphgen::kronecker::adjacency(self.vertices, self.edges, self.seed),
+            "uniform" => atgnn_graphgen::erdos_renyi::adjacency(self.vertices, self.edges, self.seed),
+            other => panic!("unknown dataset {other} (kronecker|uniform)"),
+        }
+    }
+
+    /// Applies `--repeat`/`--warmup` to the measurement environment
+    /// (the harness reads them via `ATGNN_REPEATS`/`ATGNN_WARMUP`).
+    pub fn apply_timing_env(&self) {
+        std::env::set_var("ATGNN_REPEATS", self.repeat.to_string());
+        std::env::set_var("ATGNN_WARMUP", self.warmup.to_string());
+    }
+}
+
+/// Usage text (mirrors the artifact's argparse help).
+pub const USAGE: &str = "\
+usage: unified_{single,distr}_bench [options]
+  -s, --seed N          RNG seed (default 0)
+  -v, --vertices N      number of vertices (default 10000)
+  -e, --edges N         number of edges (default 100000)
+  -t, --type T          float32 | float64 (default float32)
+  -m, --model M         VA | GAT | AGNN | GCN (default VA)
+  -f, --file PATH       load adjacency from a COO file
+  -d, --dataset D       kronecker | uniform (default kronecker)
+      --features K      feature width (default 16)
+      --inference       inference only
+  -l, --layers L        GNN layers (default 3)
+      --repeat N        timed repetitions (default 10)
+      --warmup N        warmup runs (default 2)
+  -p, --processes P     simulated ranks (distributed binary, default 4)";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Cli {
+        Cli::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults_match_artifact() {
+        let c = parse("");
+        assert_eq!(c.repeat, 10);
+        assert_eq!(c.warmup, 2);
+        assert_eq!(c.layers, 3);
+        assert!(!c.f64_mode);
+        assert_eq!(c.dataset, "kronecker");
+    }
+
+    #[test]
+    fn parses_artifact_example() {
+        // The appendix example: unified_single_bench.py -m VA -v 10000 -e 1000000
+        let c = parse("-m VA -v 10000 -e 1000000");
+        assert_eq!(c.model, ModelKind::Va);
+        assert_eq!(c.vertices, 10000);
+        assert_eq!(c.edges, 1000000);
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let c = parse(
+            "--seed 7 --vertices 512 --edges 2048 --type float64 --model GAT \
+             --dataset uniform --features 32 --inference --layers 5 \
+             --repeat 3 --warmup 1 --processes 16",
+        );
+        assert_eq!(c.seed, 7);
+        assert!(c.f64_mode);
+        assert_eq!(c.model, ModelKind::Gat);
+        assert_eq!(c.dataset, "uniform");
+        assert_eq!(c.features, 32);
+        assert!(c.inference);
+        assert_eq!(c.layers, 5);
+        assert_eq!(c.processes, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn rejects_unknown_model() {
+        let _ = parse("-m SAGE");
+    }
+
+    #[test]
+    fn builds_graphs_from_both_generators() {
+        let mut c = parse("-v 128 -e 512 -d kronecker");
+        let a = c.build_graph();
+        assert_eq!(a.rows(), 128);
+        c.dataset = "uniform".into();
+        let b = c.build_graph();
+        assert_eq!(b.rows(), 128);
+        assert!(b.nnz() > 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Minimal self-contained SVG plotting for the harness CSVs — the Rust
+//! counterpart of the artifact's `plots/create_plots_artifact.py`.
+//!
+//! No plotting dependency: the figures the paper draws are log-log line
+//! charts (runtime/volume vs node count), which is a couple hundred lines
+//! of SVG. [`LinePlot`] renders one panel; the `make_plots` binary turns
+//! each `results/*.csv` into `results/plots/*.svg`.
+
+use std::fmt::Write as _;
+
+/// One series of (x, y) points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (x ascending).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A log-log line chart.
+pub struct LinePlot {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 44.0;
+const MARGIN_B: f64 = 56.0;
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+impl LinePlot {
+    /// Renders the chart as an SVG document.
+    ///
+    /// # Panics
+    /// Panics if there is no positive data to plot (log axes).
+    pub fn to_svg(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|&(x, y)| x > 0.0 && y > 0.0)
+            .collect();
+        assert!(!pts.is_empty(), "nothing to plot");
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for &(x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        // Pad the y range a little in log space.
+        let (ly0, ly1) = (y0.log10() - 0.1, y1.log10() + 0.1);
+        let (lx0, lx1) = (x0.log10(), x1.log10().max(x0.log10() + 1e-9));
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x.log10() - lx0) / (lx1 - lx0) * plot_w;
+        let sy = |y: f64| MARGIN_T + (ly1 - y.log10()) / (ly1 - ly0) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        // Title and axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="24" text-anchor="middle" font-size="15">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            xml(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            xml(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml(&self.y_label)
+        );
+        // Frame.
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+        );
+        // Decade grid lines + tick labels.
+        for d in (ly0.floor() as i64)..=(ly1.ceil() as i64) {
+            let y = 10f64.powi(d as i32);
+            if y.log10() < ly0 || y.log10() > ly1 {
+                continue;
+            }
+            let yy = sy(y);
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{yy}" x2="{}" y2="{yy}" stroke="#ddd"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end">{}</text>"#,
+                MARGIN_L - 6.0,
+                yy + 4.0,
+                format_pow(y)
+            );
+        }
+        for d in (lx0.floor() as i64)..=(lx1.ceil() as i64) {
+            let x = 10f64.powi(d as i32);
+            if x.log10() < lx0 - 1e-9 || x.log10() > lx1 + 1e-9 {
+                continue;
+            }
+            let xx = sx(x);
+            let _ = write!(
+                svg,
+                r##"<line x1="{xx}" y1="{MARGIN_T}" x2="{xx}" y2="{}" stroke="#ddd"/>"##,
+                MARGIN_T + plot_h
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{xx}" y="{}" text-anchor="middle">{}</text>"#,
+                MARGIN_T + plot_h + 18.0,
+                format_pow(x)
+            );
+        }
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let mut path = String::new();
+            for (j, &(x, y)) in s.points.iter().filter(|&&(x, y)| x > 0.0 && y > 0.0).enumerate() {
+                let _ = write!(path, "{}{:.1},{:.1} ", if j == 0 { "M" } else { "L" }, sx(x), sy(y));
+            }
+            let _ = write!(
+                svg,
+                r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#
+            );
+            for &(x, y) in s.points.iter().filter(|&&(x, y)| x > 0.0 && y > 0.0) {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Legend.
+            let ly = MARGIN_T + 16.0 + i as f64 * 18.0;
+            let lx = WIDTH - MARGIN_R + 10.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 18.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}">{}</text>"#,
+                lx + 24.0,
+                ly + 4.0,
+                xml(&s.label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn xml(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn format_pow(v: f64) -> String {
+    if v >= 1.0 && v < 1e6 {
+        format!("{v:.0}")
+    } else {
+        format!("1e{}", v.log10().round() as i64)
+    }
+}
+
+/// Parses a harness CSV (see [`crate::report::Record`]) into
+/// `(experiment, model/system, p, modeled_s)` tuples.
+pub fn parse_results_csv(text: &str) -> Vec<(String, String, f64, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() < 13 {
+            continue;
+        }
+        let (Ok(p), Ok(modeled)) = (cols[8].parse::<f64>(), cols[12].parse::<f64>()) else {
+            continue;
+        };
+        out.push((
+            cols[0].to_string(),
+            format!("{}/{}", cols[1], cols[2]),
+            p,
+            modeled,
+        ));
+    }
+    out
+}
+
+/// Builds one plot per experiment tag from parsed CSV rows
+/// (x = rank count, y = modeled seconds).
+pub fn plots_from_rows(rows: &[(String, String, f64, f64)], csv_name: &str) -> Vec<(String, LinePlot)> {
+    use std::collections::BTreeMap;
+    let mut by_exp: BTreeMap<&str, BTreeMap<&str, Vec<(f64, f64)>>> = BTreeMap::new();
+    for (exp, series, p, y) in rows {
+        by_exp
+            .entry(exp)
+            .or_default()
+            .entry(series)
+            .or_default()
+            .push((*p, *y));
+    }
+    let mut out = Vec::new();
+    for (exp, series_map) in by_exp {
+        let series: Vec<Series> = series_map
+            .into_iter()
+            .map(|(label, mut points)| {
+                points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                // Average duplicate x values (several k etc. per panel).
+                let mut dedup: Vec<(f64, f64, usize)> = Vec::new();
+                for (x, y) in points {
+                    match dedup.last_mut() {
+                        Some(last) if last.0 == x => {
+                            last.1 += y;
+                            last.2 += 1;
+                        }
+                        _ => dedup.push((x, y, 1)),
+                    }
+                }
+                Series {
+                    label: label.to_string(),
+                    points: dedup.into_iter().map(|(x, y, c)| (x, y / c as f64)).collect(),
+                }
+            })
+            .collect();
+        out.push((
+            format!("{csv_name}_{exp}"),
+            LinePlot {
+                title: format!("{exp} ({csv_name})"),
+                x_label: "simulated ranks p".into(),
+                y_label: "modeled time [s]".into(),
+                series,
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_renders_series_and_legend() {
+        let plot = LinePlot {
+            title: "test".into(),
+            x_label: "p".into(),
+            y_label: "t".into(),
+            series: vec![
+                Series {
+                    label: "GAT/global".into(),
+                    points: vec![(1.0, 1.0), (4.0, 0.5), (16.0, 0.25)],
+                },
+                Series {
+                    label: "baseline".into(),
+                    points: vec![(1.0, 0.8), (4.0, 0.8)],
+                },
+            ],
+        };
+        let svg = plot.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("GAT/global"));
+        assert!(svg.matches("<path").count() == 2);
+        assert!(svg.matches("<circle").count() == 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_plot_is_rejected() {
+        let plot = LinePlot {
+            title: "x".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        let _ = plot.to_svg();
+    }
+
+    #[test]
+    fn csv_parsing_and_grouping() {
+        let csv = "\
+experiment,model,system,task,n,m,k,layers,p,compute_s,comm_bytes,supersteps,modeled_s
+fig6a,VA,global,training,100,200,16,3,1,0.1,0,0,0.1
+fig6a,VA,global,training,100,200,16,3,4,0.1,100,5,0.05
+fig6a,DGL,minibatch,training,100,200,16,3,1,0.2,0,0,0.2
+fig6b,VA,global,training,100,200,16,3,1,0.1,0,0,0.09
+";
+        let rows = parse_results_csv(csv);
+        assert_eq!(rows.len(), 4);
+        let plots = plots_from_rows(&rows, "fig6");
+        assert_eq!(plots.len(), 2);
+        let (name, plot) = &plots[0];
+        assert_eq!(name, "fig6_fig6a");
+        assert_eq!(plot.series.len(), 2);
+        assert_eq!(plot.series[1].points, vec![(1.0, 0.1), (4.0, 0.05)]);
+    }
+
+    #[test]
+    fn duplicate_x_values_are_averaged() {
+        let rows = vec![
+            ("e".to_string(), "m/s".to_string(), 4.0, 1.0),
+            ("e".to_string(), "m/s".to_string(), 4.0, 3.0),
+        ];
+        let plots = plots_from_rows(&rows, "t");
+        assert_eq!(plots[0].1.series[0].points, vec![(4.0, 2.0)]);
+    }
+
+    #[test]
+    fn xml_escaping() {
+        assert_eq!(xml("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+}

@@ -1,0 +1,157 @@
+//! Model checkpointing: save and restore all trainable parameters.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  b"ATGNNCKPT"                 (9 bytes)
+//! layers u64
+//! per layer:  slots u64, then per slot: len u64, len × f64 values
+//! ```
+//!
+//! Values are stored as `f64` regardless of the model's scalar type, so a
+//! checkpoint written from an `f64` training run restores into an `f32`
+//! inference model (matching the paper's float32 deployment).
+
+use crate::model::GnnModel;
+use atgnn_tensor::Scalar;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 9] = b"ATGNNCKPT";
+
+/// Saves every parameter of `model` to `path`.
+pub fn save<T: Scalar>(model: &GnnModel<T>, path: &Path) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(MAGIC)?;
+    f.write_all(&(model.depth() as u64).to_le_bytes())?;
+    for layer in model.layers() {
+        let slots = layer.param_slices();
+        f.write_all(&(slots.len() as u64).to_le_bytes())?;
+        for slot in slots {
+            f.write_all(&(slot.len() as u64).to_le_bytes())?;
+            for &v in slot {
+                f.write_all(&v.to_f64().to_le_bytes())?;
+            }
+        }
+    }
+    f.flush()
+}
+
+/// Restores parameters into `model` (which must have been constructed
+/// with the same architecture).
+///
+/// # Errors
+/// Returns `InvalidData` if the file is not a checkpoint or its shape
+/// does not match the model.
+pub fn load<T: Scalar>(model: &mut GnnModel<T>, path: &Path) -> io::Result<()> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 9];
+    f.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a checkpoint"));
+    }
+    let mut u64buf = [0u8; 8];
+    f.read_exact(&mut u64buf)?;
+    let layers = u64::from_le_bytes(u64buf) as usize;
+    if layers != model.depth() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint has {layers} layers, model has {}", model.depth()),
+        ));
+    }
+    for layer in model.layers_mut() {
+        f.read_exact(&mut u64buf)?;
+        let slots = u64::from_le_bytes(u64buf) as usize;
+        let mut params = layer.param_slices_mut();
+        if slots != params.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("layer expects {} slots, checkpoint has {slots}", params.len()),
+            ));
+        }
+        for slot in params.iter_mut() {
+            f.read_exact(&mut u64buf)?;
+            let len = u64::from_le_bytes(u64buf) as usize;
+            if len != slot.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("slot expects {} values, checkpoint has {len}", slot.len()),
+                ));
+            }
+            for v in slot.iter_mut() {
+                f.read_exact(&mut u64buf)?;
+                *v = T::from_f64(f64::from_le_bytes(u64buf));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+    use atgnn_graphgen::kronecker;
+    use atgnn_tensor::{init, Activation};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("atgnn_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_restores_exact_outputs() {
+        let a = kronecker::adjacency::<f64>(32, 128, 1);
+        let a = GnnModel::<f64>::prepare_adjacency(ModelKind::Gat, &a);
+        let x = init::features::<f64>(32, 4, 2);
+        let model = GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 6, 2], Activation::Elu, 3);
+        let want = model.inference(&a, &x);
+        let path = tmp("gat.ckpt");
+        save(&model, &path).unwrap();
+        // A differently-seeded model produces different outputs...
+        let mut other = GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 6, 2], Activation::Elu, 99);
+        assert!(other.inference(&a, &x).max_abs_diff(&want) > 1e-6);
+        // ...until the checkpoint restores the original parameters.
+        load(&mut other, &path).unwrap();
+        assert!(other.inference(&a, &x).max_abs_diff(&want) < 1e-15);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn cross_precision_restore() {
+        let model = GnnModel::<f64>::uniform(ModelKind::Agnn, &[4, 4], Activation::Relu, 5);
+        let path = tmp("agnn.ckpt");
+        save(&model, &path).unwrap();
+        let mut f32_model = GnnModel::<f32>::uniform(ModelKind::Agnn, &[4, 4], Activation::Relu, 77);
+        load(&mut f32_model, &path).unwrap();
+        // Spot-check a weight crossed precisions.
+        let w64 = model.layers()[0].param_slices()[0][0];
+        let w32 = f32_model.layers()[0].param_slices()[0][0];
+        assert!((w64 - w32 as f64).abs() < 1e-7);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let model = GnnModel::<f64>::uniform(ModelKind::Va, &[4, 4], Activation::Relu, 7);
+        let path = tmp("va.ckpt");
+        save(&model, &path).unwrap();
+        let mut wrong_depth = GnnModel::<f64>::uniform(ModelKind::Va, &[4, 4, 4], Activation::Relu, 7);
+        assert!(load(&mut wrong_depth, &path).is_err());
+        let mut wrong_dims = GnnModel::<f64>::uniform(ModelKind::Va, &[4, 8], Activation::Relu, 7);
+        assert!(load(&mut wrong_dims, &path).is_err());
+        let mut wrong_kind = GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 4], Activation::Relu, 7);
+        assert!(load(&mut wrong_kind, &path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn garbage_file_is_rejected() {
+        let path = tmp("garbage.ckpt");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+        let mut model = GnnModel::<f64>::uniform(ModelKind::Gcn, &[2, 2], Activation::Relu, 9);
+        assert!(load(&mut model, &path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,346 @@
+//! Execution-DAG analysis and the fusing optimization (paper §6.1–6.2,
+//! Figures 4–5).
+//!
+//! The paper's toolchain builds the forward and backward execution DAGs
+//! of each model, marks tensors too large to instantiate as *virtual*
+//! ("some tensors could still be too large to be stored explicitly … In
+//! the considered GNN models, this happens when obtaining Ψ"), and then
+//! fuses: *"we traverse the DAG until we find an edge (v_i, v_j) whose
+//! output v_j is a virtual matrix. Then, we continue to traverse the
+//! graph until we meet an edge (v_k, v_l) where v_l is a sparse
+//! intermediate result … We proceed by fusing all the operations in this
+//! path to generate an SDDMM-like kernel."*
+//!
+//! [`Dag::fusion_groups`] implements exactly that rule; the canned model
+//! DAGs ([`Dag::va_forward`], [`Dag::agnn_forward`], [`Dag::gat_forward`])
+//! reproduce the paper's Figure 5 analysis, and the tests assert the
+//! property the optimization exists for: **after fusion, no dense `n×n`
+//! tensor is ever materialized** — which is precisely what the fused
+//! kernels in `atgnn_sparse::fused` implement.
+
+use std::collections::HashMap;
+
+/// The shape/density class of a tensor in the DAG (Table 1's objects).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TensorClass {
+    /// Tall dense `n×k` (features, gradients).
+    DenseNk,
+    /// Small dense `k×k` (parameters).
+    DenseKk,
+    /// Dense `n×n` — a *virtual-tensor candidate*: never instantiable at
+    /// scale (the gray matrix of Table 1).
+    DenseNn,
+    /// Sparse `n×n` on the adjacency pattern.
+    SparseNn,
+    /// Dense length-`n` vector.
+    VecN,
+    /// Dense length-`k` vector.
+    VecK,
+    /// A scalar.
+    Scalar,
+}
+
+/// A node: one tensor-producing operation.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Operation label ("matmul_nt", "mask", "lrelu", …).
+    pub op: String,
+    /// The class of the *output* tensor.
+    pub output: TensorClass,
+    /// Input node ids.
+    pub inputs: Vec<usize>,
+}
+
+/// A tensor-expression DAG.
+#[derive(Clone, Debug, Default)]
+pub struct Dag {
+    nodes: Vec<Node>,
+}
+
+/// One fusion group: the node ids fused into a single SDDMM-like kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FusionGroup {
+    /// Fused nodes, in topological order; the last one produces the
+    /// sparse result that samples the virtual intermediates.
+    pub nodes: Vec<usize>,
+}
+
+impl Dag {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an operation; inputs must already exist. Returns the node id.
+    pub fn add(&mut self, op: &str, output: TensorClass, inputs: &[usize]) -> usize {
+        for &i in inputs {
+            assert!(i < self.nodes.len(), "input {i} does not exist yet");
+        }
+        self.nodes.push(Node {
+            op: op.to_string(),
+            output,
+            inputs: inputs.to_vec(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Ids of nodes whose output is a virtual (dense `n×n`) tensor.
+    pub fn virtual_nodes(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.output == TensorClass::DenseNn)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The paper's §6.2 fusion rule: every maximal connected region of
+    /// virtual-output nodes, together with (a) the sparse *sampler* nodes
+    /// that consume the region's outputs and (b) nothing else, becomes one
+    /// fused SDDMM-like kernel.
+    ///
+    /// # Panics
+    /// Panics if a virtual node's output escapes to a non-sparse,
+    /// non-virtual consumer — that would force materializing an `n×n`
+    /// dense tensor, which the design forbids.
+    pub fn fusion_groups(&self) -> Vec<FusionGroup> {
+        let n = self.nodes.len();
+        // Union regions of virtual nodes connected through virtual edges.
+        let mut region = vec![usize::MAX; n];
+        let mut next_region = 0usize;
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.output != TensorClass::DenseNn {
+                continue;
+            }
+            // Adopt the region of any virtual input, else start one.
+            let mut r = usize::MAX;
+            for &i in &node.inputs {
+                if self.nodes[i].output == TensorClass::DenseNn && region[i] != usize::MAX {
+                    r = region[i];
+                }
+            }
+            if r == usize::MAX {
+                r = next_region;
+                next_region += 1;
+            }
+            region[id] = r;
+            // Merge: all virtual inputs join this region.
+            for &i in &node.inputs {
+                if self.nodes[i].output == TensorClass::DenseNn {
+                    let old = region[i];
+                    if old != r {
+                        for slot in region.iter_mut() {
+                            if *slot == old {
+                                *slot = r;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Collect regions and attach their sparse samplers.
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (id, &r) in region.iter().enumerate() {
+            if r != usize::MAX {
+                groups.entry(r).or_default().push(id);
+            }
+        }
+        let mut out = Vec::new();
+        let mut regions: Vec<_> = groups.into_iter().collect();
+        regions.sort_by_key(|(_, nodes)| nodes[0]);
+        for (r, mut nodes) in regions {
+            // Find consumers of this region's outputs.
+            for (id, node) in self.nodes.iter().enumerate() {
+                if region[id] == r {
+                    continue;
+                }
+                let consumes_region = node.inputs.iter().any(|&i| region[i] == r);
+                if consumes_region {
+                    assert_eq!(
+                        node.output,
+                        TensorClass::SparseNn,
+                        "virtual tensor of node {} escapes into non-sparse op '{}' — \
+                         it would have to be materialized",
+                        id,
+                        node.op
+                    );
+                    nodes.push(id);
+                }
+            }
+            nodes.sort_unstable();
+            out.push(FusionGroup { nodes });
+        }
+        out
+    }
+
+    /// Whether, after fusion, no dense `n×n` tensor needs to be stored:
+    /// every virtual node belongs to some fusion group ending in a sparse
+    /// sampler.
+    pub fn all_virtual_fused(&self) -> bool {
+        let groups = self.fusion_groups();
+        self.virtual_nodes()
+            .iter()
+            .all(|v| groups.iter().any(|g| g.nodes.contains(v)))
+    }
+
+    // -----------------------------------------------------------------
+    // The Figure 5 model DAGs.
+    // -----------------------------------------------------------------
+
+    /// VA forward: `Ψ = A ⊙ (H Hᵀ)`, `Z = Ψ H W`.
+    pub fn va_forward() -> Self {
+        let mut d = Dag::new();
+        let h = d.add("H", TensorClass::DenseNk, &[]);
+        let a = d.add("A", TensorClass::SparseNn, &[]);
+        let w = d.add("W", TensorClass::DenseKk, &[]);
+        let hht = d.add("matmul_nt(H,H)", TensorClass::DenseNn, &[h, h]);
+        let psi = d.add("mask(A, HHt)", TensorClass::SparseNn, &[a, hht]);
+        let agg = d.add("spmm(Psi,H)", TensorClass::DenseNk, &[psi, h]);
+        let _z = d.add("matmul(agg,W)", TensorClass::DenseNk, &[agg, w]);
+        d
+    }
+
+    /// AGNN forward: `Ψ = sm(A ⊙ (β · H Hᵀ ⊘ n nᵀ))`, `Z = Ψ H W`.
+    pub fn agnn_forward() -> Self {
+        let mut d = Dag::new();
+        let h = d.add("H", TensorClass::DenseNk, &[]);
+        let a = d.add("A", TensorClass::SparseNn, &[]);
+        let w = d.add("W", TensorClass::DenseKk, &[]);
+        let norms = d.add("row_l2_norms(H)", TensorClass::VecN, &[h]);
+        let hht = d.add("matmul_nt(H,H)", TensorClass::DenseNn, &[h, h]);
+        let nnt = d.add("outer(n,n)", TensorClass::DenseNn, &[norms, norms]);
+        let cosd = d.add("hadamard_div", TensorClass::DenseNn, &[hht, nnt]);
+        let scaled = d.add("scale_beta", TensorClass::DenseNn, &[cosd]);
+        let masked = d.add("mask(A,·)", TensorClass::SparseNn, &[a, scaled]);
+        let psi = d.add("row_softmax", TensorClass::SparseNn, &[masked]);
+        let proj = d.add("matmul(H,W)", TensorClass::DenseNk, &[h, w]);
+        let _z = d.add("spmm(Psi,HW)", TensorClass::DenseNk, &[psi, proj]);
+        d
+    }
+
+    /// GAT forward: `C = u 𝟙ᵀ + 𝟙 vᵀ`, `Ψ = sm(A ⊙ LeakyReLU(C))`,
+    /// `Z = Ψ H'`.
+    pub fn gat_forward() -> Self {
+        let mut d = Dag::new();
+        let h = d.add("H", TensorClass::DenseNk, &[]);
+        let a = d.add("A", TensorClass::SparseNn, &[]);
+        let w = d.add("W", TensorClass::DenseKk, &[]);
+        let a1 = d.add("a1", TensorClass::VecK, &[]);
+        let a2 = d.add("a2", TensorClass::VecK, &[]);
+        let hp = d.add("matmul(H,W)", TensorClass::DenseNk, &[h, w]);
+        let u = d.add("matvec(H',a1)", TensorClass::VecN, &[hp, a1]);
+        let v = d.add("matvec(H',a2)", TensorClass::VecN, &[hp, a2]);
+        let repu = d.add("rep(u)", TensorClass::DenseNn, &[u]);
+        let repv = d.add("rep_t(v)", TensorClass::DenseNn, &[v]);
+        let c = d.add("add", TensorClass::DenseNn, &[repu, repv]);
+        let act = d.add("leaky_relu", TensorClass::DenseNn, &[c]);
+        let e = d.add("mask(A,·)", TensorClass::SparseNn, &[a, act]);
+        let psi = d.add("row_softmax", TensorClass::SparseNn, &[e]);
+        let _z = d.add("spmm(Psi,H')", TensorClass::DenseNk, &[psi, hp]);
+        d
+    }
+
+    /// VA backward (Eqs. 11–13): both `M Hᵀ` and `H Hᵀ` are virtual and
+    /// sampled by `A`-patterned masks.
+    pub fn va_backward() -> Self {
+        let mut d = Dag::new();
+        let h = d.add("H", TensorClass::DenseNk, &[]);
+        let g = d.add("G", TensorClass::DenseNk, &[]);
+        let a = d.add("A", TensorClass::SparseNn, &[]);
+        let w = d.add("W", TensorClass::DenseKk, &[]);
+        let m = d.add("matmul_nt(G,W)", TensorClass::DenseNk, &[g, w]);
+        let mht = d.add("matmul_nt(M,H)", TensorClass::DenseNn, &[m, h]);
+        let n = d.add("mask(A, MHt)", TensorClass::SparseNn, &[a, mht]);
+        let hht = d.add("matmul_nt(H,H)", TensorClass::DenseNn, &[h, h]);
+        let psit = d.add("mask(At, HHt)", TensorClass::SparseNn, &[a, hht]);
+        let nh = d.add("spmm(N,H)", TensorClass::DenseNk, &[n, h]);
+        let nth = d.add("spmm_t(N,H)", TensorClass::DenseNk, &[n, h]);
+        let pm = d.add("spmm(PsiT,M)", TensorClass::DenseNk, &[psit, m]);
+        let s1 = d.add("add", TensorClass::DenseNk, &[nh, nth]);
+        let _dh = d.add("add", TensorClass::DenseNk, &[s1, pm]);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn va_forward_has_one_fusion_group() {
+        let d = Dag::va_forward();
+        let groups = d.fusion_groups();
+        assert_eq!(groups.len(), 1);
+        // H Hᵀ (node 3) fused with the mask (node 4) — the fused VA
+        // score kernel.
+        assert_eq!(groups[0].nodes, vec![3, 4]);
+        assert!(d.all_virtual_fused());
+    }
+
+    #[test]
+    fn agnn_forward_fuses_the_whole_cosine_chain() {
+        let d = Dag::agnn_forward();
+        let groups = d.fusion_groups();
+        assert_eq!(groups.len(), 1);
+        // HHᵀ, nnᵀ, ⊘, β-scale, and the mask: five ops, one kernel —
+        // Figure 5's dashed-arrow fusion.
+        assert_eq!(groups[0].nodes.len(), 5);
+        assert!(d.all_virtual_fused());
+    }
+
+    #[test]
+    fn gat_forward_fuses_rep_add_relu_mask() {
+        let d = Dag::gat_forward();
+        let groups = d.fusion_groups();
+        assert_eq!(groups.len(), 1);
+        // rep(u), rep_t(v), add, leaky_relu, mask.
+        assert_eq!(groups[0].nodes.len(), 5);
+        assert!(d.all_virtual_fused());
+    }
+
+    #[test]
+    fn va_backward_has_two_independent_groups() {
+        let d = Dag::va_backward();
+        let groups = d.fusion_groups();
+        // M Hᵀ→mask and H Hᵀ→mask are separate SDDMM kernels.
+        assert_eq!(groups.len(), 2);
+        assert!(d.all_virtual_fused());
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes into non-sparse")]
+    fn escaping_virtual_tensor_is_rejected() {
+        // A dense n×n fed into a dense consumer would have to be
+        // materialized; the analysis must refuse.
+        let mut d = Dag::new();
+        let h = d.add("H", TensorClass::DenseNk, &[]);
+        let hht = d.add("matmul_nt(H,H)", TensorClass::DenseNn, &[h, h]);
+        let _bad = d.add("spmm_dense", TensorClass::DenseNk, &[hht, h]);
+        let _ = d.fusion_groups();
+    }
+
+    #[test]
+    fn non_virtual_dags_have_no_groups() {
+        let mut d = Dag::new();
+        let h = d.add("H", TensorClass::DenseNk, &[]);
+        let w = d.add("W", TensorClass::DenseKk, &[]);
+        let _z = d.add("matmul", TensorClass::DenseNk, &[h, w]);
+        assert!(d.fusion_groups().is_empty());
+        assert!(d.all_virtual_fused());
+    }
+
+    #[test]
+    fn add_rejects_forward_references() {
+        let mut d = Dag::new();
+        let h = d.add("H", TensorClass::DenseNk, &[]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.add("bad", TensorClass::DenseNk, &[h + 5]);
+        }));
+        assert!(result.is_err());
+    }
+}

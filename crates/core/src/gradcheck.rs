@@ -1,0 +1,176 @@
+//! Finite-difference verification of analytic gradients.
+//!
+//! The paper's backward-pass formulations (Section 5) are intricate; every
+//! layer in this crate is validated by [`check_layer`], which compares the
+//! analytic `∂L/∂H` and every `∂L/∂θ` against central finite differences
+//! of a synthetic linear loss `L = Σ C ⊙ Z` (so that `G = ∂L/∂Z = C`
+//! exactly, isolating the layer's own derivative from the loss's).
+
+use crate::layer::{AGnnLayer, LayerCache};
+use atgnn_sparse::Csr;
+use atgnn_tensor::{ops, Dense};
+
+/// Deterministic pseudo-random cotangent matrix `C` (no RNG dependency so
+/// the check is reproducible byte-for-byte).
+fn cotangent(rows: usize, cols: usize) -> Dense<f64> {
+    let mut state = 0x1234_5678_9abc_def0u64;
+    Dense::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state % 2000) as f64 / 1000.0) - 1.0
+    })
+}
+
+fn loss<L: AGnnLayer<f64>>(layer: &L, a: &Csr<f64>, h: &Dense<f64>, c: &Dense<f64>) -> f64 {
+    let z = layer.forward(a, h, None);
+    ops::total_sum(&ops::hadamard(&z, c))
+}
+
+/// Checks a layer's input and parameter gradients against central finite
+/// differences with step `eps`; every component must agree within `tol`
+/// (absolute, on gradients of order one).
+///
+/// # Panics
+/// Panics with a descriptive message at the first mismatching component.
+pub fn check_layer<L: AGnnLayer<f64> + Clone>(
+    layer: &L,
+    a: &Csr<f64>,
+    h: &Dense<f64>,
+    eps: f64,
+    tol: f64,
+) {
+    let mut cache = LayerCache::new();
+    let z = layer.forward(a, h, Some(&mut cache));
+    let c = cotangent(z.rows(), z.cols());
+    let result = layer.backward(a, h, &cache, &c);
+
+    // ∂L/∂H.
+    for i in 0..h.rows() {
+        for j in 0..h.cols() {
+            let mut hp = h.clone();
+            hp[(i, j)] += eps;
+            let mut hm = h.clone();
+            hm[(i, j)] -= eps;
+            let fd = (loss(layer, a, &hp, &c) - loss(layer, a, &hm, &c)) / (2.0 * eps);
+            let an = result.dh_in[(i, j)];
+            assert!(
+                (fd - an).abs() < tol,
+                "{}: dH[{i},{j}] finite-diff {fd} vs analytic {an}",
+                layer.name()
+            );
+        }
+    }
+
+    // ∂L/∂θ for every parameter tensor.
+    assert_eq!(
+        result.grads.slots.len(),
+        layer.param_slices().len(),
+        "{}: gradient slot count must match parameter count",
+        layer.name()
+    );
+    for (slot_idx, grad) in result.grads.slots.iter().enumerate() {
+        let base_len = layer.param_slices()[slot_idx].len();
+        assert_eq!(
+            grad.len(),
+            base_len,
+            "{}: slot {slot_idx} length mismatch",
+            layer.name()
+        );
+        for p in 0..base_len {
+            let mut lp = layer.clone();
+            lp.param_slices_mut()[slot_idx][p] += eps;
+            let mut lm = layer.clone();
+            lm.param_slices_mut()[slot_idx][p] -= eps;
+            let fd = (loss(&lp, a, h, &c) - loss(&lm, a, h, &c)) / (2.0 * eps);
+            assert!(
+                (fd - grad[p]).abs() < tol,
+                "{}: dθ[{slot_idx}][{p}] finite-diff {fd} vs analytic {}",
+                layer.name(),
+                grad[p]
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{BackwardResult, Gradients};
+    use atgnn_tensor::Activation;
+
+    /// A deliberately simple layer (Z = H·diag-free W) to test the checker
+    /// itself, including that it *fails* on a wrong gradient.
+    #[derive(Clone)]
+    struct LinearLayer {
+        w: Dense<f64>,
+        sabotage: bool,
+    }
+
+    impl AGnnLayer<f64> for LinearLayer {
+        fn in_dim(&self) -> usize {
+            self.w.rows()
+        }
+        fn out_dim(&self) -> usize {
+            self.w.cols()
+        }
+        fn forward(
+            &self,
+            _a: &Csr<f64>,
+            h: &Dense<f64>,
+            _cache: Option<&mut LayerCache<f64>>,
+        ) -> Dense<f64> {
+            atgnn_tensor::gemm::matmul(h, &self.w)
+        }
+        fn backward(
+            &self,
+            _a: &Csr<f64>,
+            h: &Dense<f64>,
+            _cache: &LayerCache<f64>,
+            g: &Dense<f64>,
+        ) -> BackwardResult<f64> {
+            let mut dh = atgnn_tensor::gemm::matmul_nt(g, &self.w);
+            if self.sabotage {
+                dh[(0, 0)] += 1.0;
+            }
+            let dw = atgnn_tensor::gemm::matmul_tn(h, g);
+            BackwardResult {
+                dh_in: dh,
+                grads: Gradients::from_slots(vec![dw.into_vec()]),
+            }
+        }
+        fn param_slices_mut(&mut self) -> Vec<&mut [f64]> {
+            vec![self.w.as_mut_slice()]
+        }
+        fn param_slices(&self) -> Vec<&[f64]> {
+            vec![self.w.as_slice()]
+        }
+        fn activation(&self) -> Activation {
+            Activation::Identity
+        }
+        fn name(&self) -> &'static str {
+            "Linear"
+        }
+    }
+
+    fn fixture() -> (Csr<f64>, Dense<f64>, LinearLayer) {
+        let a = Csr::identity(3);
+        let h = Dense::from_fn(3, 2, |i, j| (i + 2 * j) as f64 * 0.3 - 0.4);
+        let w = Dense::from_fn(2, 2, |i, j| (i * 2 + j) as f64 * 0.25 + 0.1);
+        (a, h, LinearLayer { w, sabotage: false })
+    }
+
+    #[test]
+    fn checker_accepts_correct_gradients() {
+        let (a, h, layer) = fixture();
+        check_layer(&layer, &a, &h, 1e-6, 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "dH[0,0]")]
+    fn checker_rejects_wrong_gradients() {
+        let (a, h, mut layer) = fixture();
+        layer.sabotage = true;
+        check_layer(&layer, &a, &h, 1e-6, 1e-7);
+    }
+}

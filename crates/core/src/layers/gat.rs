@@ -1,0 +1,271 @@
+//! GAT — Graph Attention Network, paper Section 4.1 (Figure 2) and the
+//! backward derivation summarized in Figure 1.
+//!
+//! The local score `aᵀ [W h_i ‖ W h_j]` is split (Figure 2) into
+//! `(W h_i)·a₁ + (W h_j)·a₂` so the concatenation disappears and the
+//! virtual score matrix becomes `C = u 𝟙ᵀ + 𝟙 vᵀ` with `u = H' a₁`,
+//! `v = H' a₂`, `H' = H W`:
+//!
+//! ```text
+//! Ψ = sm(A ⊙ LeakyReLU(C))        (fused; C never materialized)
+//! Z = Ψ H'                        (SpMM)
+//! ```
+//!
+//! Backward, given `G = ∂L/∂Z`:
+//!
+//! ```text
+//! D   = A ⊙ (G H'ᵀ)                       (SDDMM)
+//! ∂E  = Ψ ⊙ (D − rep(rowsum(Ψ ⊙ D)))      (softmax backward)
+//! ∂C  = ∂E ⊙ LeakyReLU'(C)                (on the pattern)
+//! ∂u  = sum(∂C)        ∂v = sumᵀ(∂C)
+//! ∂a₁ = H'ᵀ ∂u         ∂a₂ = H'ᵀ ∂v
+//! ∂H' = Ψᵀ G + ∂u a₁ᵀ + ∂v a₂ᵀ
+//! ∂W  = Hᵀ ∂H'         ∂L/∂H = ∂H' Wᵀ
+//! ```
+
+use crate::layer::{AGnnLayer, BackwardResult, Gradients, LayerCache};
+use atgnn_sparse::{fused, masked, sddmm, spmm, Csr};
+use atgnn_tensor::{gemm, init, Activation, Dense, Scalar};
+
+/// The GAT LeakyReLU slope from the original paper.
+pub const GAT_SLOPE: f64 = 0.2;
+
+/// A single-head GAT layer with parameters `W ∈ R^{k_in × k_out}` and the
+/// split attention vectors `a₁, a₂ ∈ R^{k_out}`.
+#[derive(Clone, Debug)]
+pub struct GatLayer<T: Scalar> {
+    w: Dense<T>,
+    a_src: Vec<T>,
+    a_dst: Vec<T>,
+    slope: f64,
+    activation: Activation,
+}
+
+impl<T: Scalar> GatLayer<T> {
+    /// Creates a layer with Glorot-initialized parameters and the standard
+    /// LeakyReLU slope 0.2.
+    pub fn new(k_in: usize, k_out: usize, activation: Activation, seed: u64) -> Self {
+        Self {
+            w: init::glorot(k_in, k_out, seed),
+            a_src: init::glorot_vec(k_out, seed ^ 0xa1),
+            a_dst: init::glorot_vec(k_out, seed ^ 0xa2),
+            slope: GAT_SLOPE,
+            activation,
+        }
+    }
+
+    /// Creates a layer with explicit parameters.
+    pub fn with_params(
+        w: Dense<T>,
+        a_src: Vec<T>,
+        a_dst: Vec<T>,
+        slope: f64,
+        activation: Activation,
+    ) -> Self {
+        assert_eq!(w.cols(), a_src.len(), "a₁ must have k_out entries");
+        assert_eq!(w.cols(), a_dst.len(), "a₂ must have k_out entries");
+        Self {
+            w,
+            a_src,
+            a_dst,
+            slope,
+            activation,
+        }
+    }
+
+    /// The weight matrix `W`.
+    pub fn weights(&self) -> &Dense<T> {
+        &self.w
+    }
+
+    /// The attention vectors `(a₁, a₂)`.
+    pub fn attention_vectors(&self) -> (&[T], &[T]) {
+        (&self.a_src, &self.a_dst)
+    }
+
+    /// Computes the attention matrix `Ψ` for the given inputs (exposed for
+    /// the distributed engine and for DGL-style g-SDDMM integration).
+    pub fn psi(&self, a: &Csr<T>, h: &Dense<T>) -> Csr<T> {
+        let hp = gemm::matmul(h, &self.w);
+        let u = gemm::matvec(&hp, &self.a_src);
+        let v = gemm::matvec(&hp, &self.a_dst);
+        let (e, _) = fused::gat_scores(a, &u, &v, self.slope);
+        masked::row_softmax(&e)
+    }
+}
+
+impl<T: Scalar> AGnnLayer<T> for GatLayer<T> {
+    fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    fn forward(&self, a: &Csr<T>, h: &Dense<T>, cache: Option<&mut LayerCache<T>>) -> Dense<T> {
+        let hp = gemm::matmul(h, &self.w);
+        let u = gemm::matvec(&hp, &self.a_src);
+        let v = gemm::matvec(&hp, &self.a_dst);
+        let (e, c_pre) = fused::gat_scores(a, &u, &v, self.slope);
+        let psi = masked::row_softmax(&e);
+        let z = spmm::spmm(&psi, &hp);
+        if let Some(c) = cache {
+            c.psi = Some(psi);
+            c.scores = Some(c_pre);
+            c.h_proj = Some(hp);
+            c.u = Some(u);
+            c.v = Some(v);
+        }
+        z
+    }
+
+    fn backward(
+        &self,
+        a: &Csr<T>,
+        h: &Dense<T>,
+        cache: &LayerCache<T>,
+        g: &Dense<T>,
+    ) -> BackwardResult<T> {
+        let psi = cache.psi.as_ref().expect("GAT backward needs cached Ψ");
+        let c_pre = cache.scores.as_ref().expect("GAT backward needs cached C");
+        let hp = cache.h_proj.as_ref().expect("GAT backward needs cached H'");
+        // D = A ⊙ (G H'ᵀ).
+        let d = sddmm::sddmm_pattern(a, g, hp);
+        // Softmax backward on the pattern.
+        let de = masked::row_softmax_backward(psi, &d);
+        // LeakyReLU backward at the cached pre-activation scores.
+        let lrelu = Activation::LeakyRelu(self.slope);
+        let dc_values: Vec<T> = de
+            .values()
+            .iter()
+            .zip(c_pre.values())
+            .map(|(&dv, &cv)| dv * lrelu.grad(cv))
+            .collect();
+        let dc = de.with_values(dc_values);
+        // ∂u = row sums, ∂v = column sums of ∂C.
+        let du = masked::row_sums(&dc);
+        let dv = masked::col_sums(&dc);
+        // ∂a₁ = H'ᵀ ∂u, ∂a₂ = H'ᵀ ∂v.
+        let da_src = gemm::matvec_t(hp, &du);
+        let da_dst = gemm::matvec_t(hp, &dv);
+        // ∂H' = Ψᵀ G + ∂u a₁ᵀ + ∂v a₂ᵀ.
+        let mut dhp = spmm::spmm_t(psi, g);
+        for i in 0..dhp.rows() {
+            let (dui, dvi) = (du[i], dv[i]);
+            let row = dhp.row_mut(i);
+            for ((o, &a1), &a2) in row.iter_mut().zip(&self.a_src).zip(&self.a_dst) {
+                *o += dui * a1 + dvi * a2;
+            }
+        }
+        // ∂W = Hᵀ ∂H', ∂L/∂H = ∂H' Wᵀ.
+        let dw = gemm::matmul_tn(h, &dhp);
+        let dh = gemm::matmul_nt(&dhp, &self.w);
+        BackwardResult {
+            dh_in: dh,
+            grads: Gradients::from_slots(vec![dw.into_vec(), da_src, da_dst]),
+        }
+    }
+
+    fn param_slices_mut(&mut self) -> Vec<&mut [T]> {
+        vec![
+            self.w.as_mut_slice(),
+            self.a_src.as_mut_slice(),
+            self.a_dst.as_mut_slice(),
+        ]
+    }
+
+    fn param_slices(&self) -> Vec<&[T]> {
+        vec![self.w.as_slice(), &self.a_src, &self.a_dst]
+    }
+
+    fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    fn name(&self) -> &'static str {
+        "GAT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgnn_sparse::Coo;
+
+    fn setup() -> (Csr<f64>, Dense<f64>, GatLayer<f64>) {
+        let mut coo = Coo::from_edges(
+            6,
+            6,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (2, 5)],
+        );
+        coo.symmetrize_binary();
+        // Self-loops give every vertex the N̂(v) neighborhood GAT assumes.
+        let a = atgnn_sparse::norm::add_self_loops(&Csr::from_coo(&coo));
+        let h = init::features(6, 3, 31);
+        let layer = GatLayer::new(3, 2, Activation::Elu, 13);
+        (a, h, layer)
+    }
+
+    #[test]
+    fn forward_matches_dense_reference() {
+        let (a, h, layer) = setup();
+        // Dense reference evaluated by the book.
+        let hp = gemm::matmul(&h, layer.weights());
+        let u = gemm::matvec(&hp, layer.attention_vectors().0);
+        let v = gemm::matvec(&hp, layer.attention_vectors().1);
+        let n = a.rows();
+        let lrelu = Activation::LeakyRelu(GAT_SLOPE);
+        let mut psi = Dense::<f64>::zeros(n, n);
+        for i in 0..n {
+            let (cols, _) = a.row(i);
+            let mut total = 0.0;
+            let scores: Vec<f64> = cols
+                .iter()
+                .map(|&j| lrelu.eval(u[i] + v[j as usize]))
+                .collect();
+            let maxs = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = scores.iter().map(|s| (s - maxs).exp()).collect();
+            for e in &exps {
+                total += e;
+            }
+            for (&j, e) in cols.iter().zip(&exps) {
+                psi[(i, j as usize)] = e / total;
+            }
+        }
+        let want = gemm::matmul(&psi, &hp);
+        assert!(layer.forward(&a, &h, None).max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn psi_rows_sum_to_one() {
+        let (a, h, layer) = setup();
+        let psi = layer.psi(&a, &h);
+        for total in masked::row_sums(&psi) {
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (a, h, layer) = setup();
+        crate::gradcheck::check_layer(&layer, &a, &h, 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn gradients_on_directed_graph() {
+        let coo = Coo::from_edges(5, 5, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 0), (0, 3)]);
+        let a = atgnn_sparse::norm::add_self_loops(&Csr::from_coo(&coo));
+        let h = init::features(5, 2, 17);
+        let layer = GatLayer::<f64>::new(2, 4, Activation::Tanh, 19);
+        crate::gradcheck::check_layer(&layer, &a, &h, 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn param_layout() {
+        let (_, _, mut layer) = setup();
+        // W (3×2) + a₁ (2) + a₂ (2).
+        assert_eq!(layer.param_count(), 10);
+        assert_eq!(layer.param_slices_mut().len(), 3);
+    }
+}

@@ -1,0 +1,365 @@
+//! The full GNN pipeline: `L` stacked layers, full-batch training and
+//! inference.
+//!
+//! Mirrors the artifact's `GnnModel` base class: the forward pass caches
+//! intermediate results for training, while the `--inference` mode "runs
+//! inference only (not storing intermediate matrices)". The backward pass
+//! implements the paper's layer recursion
+//! `G^{l-1} = σ'(Z^{l-1}) ⊙ Γ^l` (Eq. 6), bootstrapped with
+//! `G^L = ∇_{H^L} L ⊙ σ'(Z^L)` (Eq. 4).
+
+use crate::layer::{AGnnLayer, Gradients, LayerCache};
+use crate::layers::{AgnnLayer, GatLayer, GcnLayer, VaLayer};
+use crate::loss::Loss;
+use crate::optimizer::Optimizer;
+use atgnn_sparse::{norm, Csr};
+use atgnn_tensor::{ops, Activation, Dense, Scalar};
+
+/// The models evaluated in the paper (plus the Section 8.4 C-GNN).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Vanilla (dot-product) attention.
+    Va,
+    /// Cosine attention with learnable temperature.
+    Agnn,
+    /// Graph attention network.
+    Gat,
+    /// Graph convolution (C-GNN baseline of Section 8.4).
+    Gcn,
+}
+
+impl ModelKind {
+    /// All attentional models benchmarked in the paper's figures.
+    pub const ATTENTIONAL: [ModelKind; 3] = [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat];
+
+    /// Display name matching the paper's plots.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Va => "VA",
+            ModelKind::Agnn => "AGNN",
+            ModelKind::Gat => "GAT",
+            ModelKind::Gcn => "GCN",
+        }
+    }
+}
+
+/// Per-layer training context: the layer input `H^l`, the pre-activation
+/// `Z^l`, and the layer's own cache.
+pub struct TrainContext<T: Scalar> {
+    /// The layer input features `H^l`.
+    pub h_in: Dense<T>,
+    /// The pre-activation `Z^l`.
+    pub z: Dense<T>,
+    /// Model-specific cached intermediates.
+    pub cache: LayerCache<T>,
+}
+
+/// A stack of GNN layers.
+pub struct GnnModel<T> {
+    layers: Vec<Box<dyn AGnnLayer<T>>>,
+}
+
+impl<T: Scalar> GnnModel<T> {
+    /// Builds a model from explicit layers.
+    pub fn new(layers: Vec<Box<dyn AGnnLayer<T>>>) -> Self {
+        assert!(!layers.is_empty(), "a GNN model needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].out_dim(),
+                w[1].in_dim(),
+                "layer dimensions must chain"
+            );
+        }
+        Self { layers }
+    }
+
+    /// Builds an `L`-layer model of one kind with the dimension chain
+    /// `dims` (`dims.len() == L + 1`). Hidden layers use `activation`;
+    /// the last layer is `Identity` (the loss supplies the final
+    /// non-linearity), matching common GNN practice.
+    pub fn uniform(
+        kind: ModelKind,
+        dims: &[usize],
+        activation: Activation,
+        seed: u64,
+    ) -> Self {
+        assert!(dims.len() >= 2, "need at least one layer (two dims)");
+        let mut layers: Vec<Box<dyn AGnnLayer<T>>> = Vec::with_capacity(dims.len() - 1);
+        for (l, w) in dims.windows(2).enumerate() {
+            let act = if l + 2 == dims.len() {
+                Activation::Identity
+            } else {
+                activation
+            };
+            let s = seed.wrapping_add(l as u64 * 0x9E37);
+            layers.push(match kind {
+                ModelKind::Va => Box::new(VaLayer::new(w[0], w[1], act, s)),
+                ModelKind::Agnn => Box::new(AgnnLayer::new(w[0], w[1], act, s)),
+                ModelKind::Gat => Box::new(GatLayer::new(w[0], w[1], act, s)),
+                ModelKind::Gcn => Box::new(GcnLayer::new(w[0], w[1], act, s)),
+            });
+        }
+        Self::new(layers)
+    }
+
+    /// Prepares the adjacency matrix the way each model expects: GCN gets
+    /// the symmetric normalization, GAT gets self-loops (so softmax
+    /// neighborhoods are the `N̂(v)` of the local formulation), VA/AGNN
+    /// use the raw adjacency.
+    pub fn prepare_adjacency(kind: ModelKind, a: &Csr<T>) -> Csr<T> {
+        match kind {
+            ModelKind::Gcn => GcnLayer::normalize(a),
+            ModelKind::Gat => norm::add_self_loops(a),
+            ModelKind::Va | ModelKind::Agnn => a.clone(),
+        }
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Box<dyn AGnnLayer<T>>] {
+        &self.layers
+    }
+
+    /// The layers, mutable (checkpoint restore).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn AGnnLayer<T>>] {
+        &mut self.layers
+    }
+
+    /// Number of layers `L`.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Full-batch inference: `L` forward layers, no intermediate storage
+    /// (the artifact's `--inference` mode).
+    pub fn inference(&self, a: &Csr<T>, x: &Dense<T>) -> Dense<T> {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            let z = layer.forward(a, &h, None);
+            h = layer.activation().apply(&z);
+        }
+        h
+    }
+
+    /// Training-mode forward pass: returns the output `H^L` and the
+    /// per-layer contexts the backward pass consumes.
+    pub fn forward_cached(&self, a: &Csr<T>, x: &Dense<T>) -> (Dense<T>, Vec<TrainContext<T>>) {
+        let mut h = x.clone();
+        let mut ctxs = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let mut cache = LayerCache::new();
+            let z = layer.forward(a, &h, Some(&mut cache));
+            let h_next = layer.activation().apply(&z);
+            ctxs.push(TrainContext {
+                h_in: std::mem::replace(&mut h, h_next),
+                z,
+                cache,
+            });
+        }
+        (h, ctxs)
+    }
+
+    /// Backward pass from `∇_{H^L} L`. Returns per-layer gradients
+    /// (index-aligned with the layers) and, as the second element, the
+    /// gradient w.r.t. the input features `X`.
+    pub fn backward(
+        &self,
+        a: &Csr<T>,
+        ctxs: &[TrainContext<T>],
+        grad_output: &Dense<T>,
+    ) -> (Vec<Gradients<T>>, Dense<T>) {
+        assert_eq!(ctxs.len(), self.layers.len(), "context count mismatch");
+        let last = self.layers.len() - 1;
+        // G^L = ∇_{H^L} L ⊙ σ'(Z^L)   (Eq. 4).
+        let mut g = ops::hadamard(
+            grad_output,
+            &self.layers[last].activation().derivative(&ctxs[last].z),
+        );
+        let mut grads: Vec<Option<Gradients<T>>> = (0..self.layers.len()).map(|_| None).collect();
+        let mut dh_in = None;
+        for l in (0..self.layers.len()).rev() {
+            let res = self.layers[l].backward(a, &ctxs[l].h_in, &ctxs[l].cache, &g);
+            grads[l] = Some(res.grads);
+            if l > 0 {
+                // G^{l-1} = σ'(Z^{l-1}) ⊙ Γ^l   (Eq. 6).
+                g = ops::hadamard(
+                    &res.dh_in,
+                    &self.layers[l - 1].activation().derivative(&ctxs[l - 1].z),
+                );
+            } else {
+                dh_in = Some(res.dh_in);
+            }
+        }
+        (
+            grads.into_iter().map(|g| g.unwrap()).collect(),
+            dh_in.unwrap(),
+        )
+    }
+
+    /// One full-batch training step (forward + backward + update).
+    /// Returns the loss value before the update.
+    pub fn train_step(
+        &mut self,
+        a: &Csr<T>,
+        x: &Dense<T>,
+        loss: &dyn Loss<T>,
+        opt: &mut dyn Optimizer<T>,
+    ) -> T {
+        let (out, ctxs) = self.forward_cached(a, x);
+        let value = loss.value(&out);
+        let grad_out = loss.gradient(&out);
+        let (grads, _) = self.backward(a, &ctxs, &grad_out);
+        self.apply_gradients(&grads, opt);
+        value
+    }
+
+    /// Applies precomputed gradients through an optimizer (exposed so the
+    /// distributed engine can all-reduce gradients first).
+    pub fn apply_gradients(&mut self, grads: &[Gradients<T>], opt: &mut dyn Optimizer<T>) {
+        assert_eq!(grads.len(), self.layers.len(), "gradient count mismatch");
+        opt.begin();
+        for (l, (layer, g)) in self.layers.iter_mut().zip(grads).enumerate() {
+            let mut params = layer.param_slices_mut();
+            opt.step(l, &mut params, g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{Mse, SoftmaxCrossEntropy};
+    use crate::optimizer::{Adam, Sgd};
+    use atgnn_sparse::Coo;
+    use atgnn_tensor::init;
+
+    fn graph(n: usize) -> Csr<f64> {
+        let edges: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| [(i, (i + 1) % n as u32), (i, (i + 2) % n as u32)])
+            .collect();
+        let mut coo = Coo::from_edges(n, n, edges);
+        coo.symmetrize_binary();
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn inference_matches_cached_forward() {
+        for kind in [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat, ModelKind::Gcn] {
+            let a = GnnModel::<f64>::prepare_adjacency(kind, &graph(8));
+            let x = init::features(8, 4, 1);
+            let model = GnnModel::<f64>::uniform(kind, &[4, 5, 3], Activation::Relu, 2);
+            let (out, ctxs) = model.forward_cached(&a, &x);
+            assert_eq!(ctxs.len(), 2);
+            assert!(model.inference(&a, &x).max_abs_diff(&out) < 1e-14, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn whole_model_gradient_matches_finite_difference() {
+        // End-to-end: 2-layer GAT + MSE, checked on the input gradient.
+        let kind = ModelKind::Gat;
+        let a = GnnModel::<f64>::prepare_adjacency(kind, &graph(6));
+        let x = init::features(6, 3, 5);
+        let model = GnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Tanh, 7);
+        let target = init::features(6, 2, 9);
+        let loss = Mse::new(target);
+        let (out, ctxs) = model.forward_cached(&a, &x);
+        let (_, dx) = model.backward(&a, &ctxs, &loss.gradient(&out));
+        let eps = 1e-6;
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let mut p = x.clone();
+                p[(i, j)] += eps;
+                let mut m = x.clone();
+                m[(i, j)] -= eps;
+                let fd = (loss.value(&model.inference(&a, &p))
+                    - loss.value(&model.inference(&a, &m)))
+                    / (2.0 * eps);
+                assert!(
+                    (fd - dx[(i, j)]).abs() < 1e-6,
+                    "dX[{i},{j}] fd={fd} analytic={}",
+                    dx[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_reduces_mse_loss_for_every_model() {
+        for kind in [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat, ModelKind::Gcn] {
+            let a = GnnModel::<f64>::prepare_adjacency(kind, &graph(10));
+            let x = init::features(10, 4, 11);
+            let target = init::features(10, 2, 13);
+            let loss = Mse::new(target);
+            let mut model = GnnModel::<f64>::uniform(kind, &[4, 4, 2], Activation::Tanh, 17);
+            let mut opt = Sgd::new(0.05);
+            let first = model.train_step(&a, &x, &loss, &mut opt);
+            let mut last = first;
+            for _ in 0..30 {
+                last = model.train_step(&a, &x, &loss, &mut opt);
+            }
+            assert!(
+                last < first,
+                "{kind:?}: loss did not decrease ({first} -> {last})"
+            );
+        }
+    }
+
+    #[test]
+    fn node_classification_converges_with_adam() {
+        // Two clusters connected internally; labels = cluster id. A GAT
+        // should fit this easily.
+        let mut coo = Coo::<f64>::new(8, 8);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    coo.push(i, j, 1.0);
+                    coo.push(i + 4, j + 4, 1.0);
+                }
+            }
+        }
+        coo.push(0, 4, 1.0);
+        coo.push(4, 0, 1.0);
+        coo.dedup_binary();
+        let a = GnnModel::<f64>::prepare_adjacency(ModelKind::Gat, &Csr::from_coo(&coo));
+        let x = init::features(8, 4, 19);
+        let labels: Vec<usize> = (0..8).map(|v| usize::from(v >= 4)).collect();
+        let loss = SoftmaxCrossEntropy::dense(labels);
+        let mut model = GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 8, 2], Activation::Elu, 23);
+        let mut opt = Adam::new(0.02);
+        for _ in 0..150 {
+            model.train_step(&a, &x, &loss, &mut opt);
+        }
+        let out = model.inference(&a, &x);
+        assert!(
+            loss.accuracy(&out) >= 0.9,
+            "accuracy {}",
+            loss.accuracy(&out)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must chain")]
+    fn mismatched_layer_dims_rejected() {
+        let l1: Box<dyn AGnnLayer<f64>> = Box::new(VaLayer::new(3, 4, Activation::Relu, 1));
+        let l2: Box<dyn AGnnLayer<f64>> = Box::new(VaLayer::new(5, 2, Activation::Relu, 2));
+        let _ = GnnModel::new(vec![l1, l2]);
+    }
+
+    #[test]
+    fn deep_models_run() {
+        // The paper sweeps L ∈ {2..10}; exercise the deep end.
+        let a = graph(12);
+        let x = init::features(12, 4, 25);
+        let dims = [4usize; 11];
+        let model = GnnModel::<f64>::uniform(ModelKind::Agnn, &dims, Activation::Relu, 27);
+        assert_eq!(model.depth(), 10);
+        let out = model.inference(&a, &x);
+        assert_eq!(out.shape(), (12, 4));
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

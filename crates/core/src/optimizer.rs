@@ -1,0 +1,243 @@
+//! First-order optimizers.
+//!
+//! The paper uses the generic learning rule `W := W − α Y` (Section 5.1,
+//! after Step 6); [`Sgd`] implements exactly that (plus optional
+//! momentum), [`Adam`] the usual adaptive variant. Optimizers see model
+//! parameters only as flat slices (via
+//! [`crate::layer::AGnnLayer::param_slices_mut`]), so they are oblivious
+//! to model internals — including the distributed engine, where replicated
+//! parameters apply identical updates on every rank.
+
+use crate::layer::Gradients;
+use atgnn_tensor::Scalar;
+
+/// A first-order optimizer over flat parameter slices.
+pub trait Optimizer<T: Scalar>: Send {
+    /// Applies one update step. `params[i]` pairs with `grads.slots[i]`;
+    /// `layer_idx` distinguishes state between layers.
+    fn step(&mut self, layer_idx: usize, params: &mut [&mut [T]], grads: &Gradients<T>);
+
+    /// Called once per *model* step, before the per-layer [`Optimizer::step`]
+    /// calls (Adam advances its bias correction here).
+    fn begin(&mut self) {}
+}
+
+/// Plain (optionally momentum-accelerated) stochastic gradient descent:
+/// `θ := θ − α (g + λθ + μ v)`.
+pub struct Sgd<T> {
+    lr: T,
+    momentum: T,
+    weight_decay: T,
+    velocity: Vec<Vec<Vec<T>>>,
+}
+
+impl<T: Scalar> Sgd<T> {
+    /// SGD with learning rate `lr` and no momentum — the paper's
+    /// `W := W − α Y` rule.
+    pub fn new(lr: T) -> Self {
+        Self {
+            lr,
+            momentum: T::zero(),
+            weight_decay: T::zero(),
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum `mu`.
+    pub fn with_momentum(lr: T, mu: T) -> Self {
+        Self {
+            lr,
+            momentum: mu,
+            weight_decay: T::zero(),
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Adds L2 weight decay `λ` (the GAT paper trains with λ = 5e-4).
+    pub fn with_weight_decay(mut self, wd: T) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl<T: Scalar> Optimizer<T> for Sgd<T> {
+    fn step(&mut self, layer_idx: usize, params: &mut [&mut [T]], grads: &Gradients<T>) {
+        assert_eq!(params.len(), grads.slots.len(), "param/grad slot mismatch");
+        while self.velocity.len() <= layer_idx {
+            self.velocity.push(Vec::new());
+        }
+        let vel = &mut self.velocity[layer_idx];
+        if vel.is_empty() {
+            for g in &grads.slots {
+                vel.push(vec![T::zero(); g.len()]);
+            }
+        }
+        for ((p, g), v) in params.iter_mut().zip(&grads.slots).zip(vel.iter_mut()) {
+            assert_eq!(p.len(), g.len(), "param/grad length mismatch");
+            if self.momentum == T::zero() {
+                for (x, &gi) in p.iter_mut().zip(g) {
+                    let eff = gi + self.weight_decay * *x;
+                    *x -= self.lr * eff;
+                }
+            } else {
+                for ((x, &gi), vi) in p.iter_mut().zip(g).zip(v.iter_mut()) {
+                    let eff = gi + self.weight_decay * *x;
+                    *vi = self.momentum * *vi + eff;
+                    *x -= self.lr * *vi;
+                }
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with the standard bias correction.
+pub struct Adam<T> {
+    lr: T,
+    beta1: T,
+    beta2: T,
+    eps: T,
+    t: i32,
+    m: Vec<Vec<Vec<T>>>,
+    v: Vec<Vec<Vec<T>>>,
+}
+
+impl<T: Scalar> Adam<T> {
+    /// Adam with the canonical hyper-parameters (β₁=0.9, β₂=0.999).
+    pub fn new(lr: T) -> Self {
+        Self {
+            lr,
+            beta1: T::from_f64(0.9),
+            beta2: T::from_f64(0.999),
+            eps: T::from_f64(1e-8),
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Signals the start of a new optimizer step (advances the bias
+    /// correction once per *model* step, not per layer).
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+}
+
+impl<T: Scalar> Optimizer<T> for Adam<T> {
+    fn begin(&mut self) {
+        self.begin_step();
+    }
+
+    fn step(&mut self, layer_idx: usize, params: &mut [&mut [T]], grads: &Gradients<T>) {
+        assert_eq!(params.len(), grads.slots.len(), "param/grad slot mismatch");
+        if self.t == 0 {
+            // Allow standalone use without an explicit begin_step.
+            self.t = 1;
+        }
+        while self.m.len() <= layer_idx {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+        }
+        let (ms, vs) = (&mut self.m[layer_idx], &mut self.v[layer_idx]);
+        if ms.is_empty() {
+            for g in &grads.slots {
+                ms.push(vec![T::zero(); g.len()]);
+                vs.push(vec![T::zero(); g.len()]);
+            }
+        }
+        let bc1 = T::one() - self.beta1.powi(self.t);
+        let bc2 = T::one() - self.beta2.powi(self.t);
+        for (((p, g), m), v) in params
+            .iter_mut()
+            .zip(&grads.slots)
+            .zip(ms.iter_mut())
+            .zip(vs.iter_mut())
+        {
+            assert_eq!(p.len(), g.len(), "param/grad length mismatch");
+            for (((x, &gi), mi), vi) in p.iter_mut().zip(g).zip(m.iter_mut()).zip(v.iter_mut()) {
+                *mi = self.beta1 * *mi + (T::one() - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (T::one() - self.beta2) * gi * gi;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *x -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descend<O: Optimizer<f64>>(mut opt: O, steps: usize, pre: impl Fn(&mut O)) -> f64 {
+        // Minimize f(x) = Σ x², gradient 2x, from x = (3, -2).
+        let mut x = vec![3.0, -2.0];
+        for _ in 0..steps {
+            pre(&mut opt);
+            let g = Gradients::from_slots(vec![x.iter().map(|v| 2.0 * v).collect()]);
+            let mut params: Vec<&mut [f64]> = vec![x.as_mut_slice()];
+            opt.step(0, &mut params, &g);
+        }
+        x.iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let f = quadratic_descend(Sgd::new(0.1), 100, |_| {});
+        assert!(f < 1e-10, "residual {f}");
+    }
+
+    #[test]
+    fn sgd_single_step_is_paper_rule() {
+        let mut x = vec![1.0f64];
+        let g = Gradients::from_slots(vec![vec![0.5]]);
+        let mut opt = Sgd::new(0.2);
+        let mut params: Vec<&mut [f64]> = vec![x.as_mut_slice()];
+        opt.step(0, &mut params, &g);
+        assert!((x[0] - (1.0 - 0.2 * 0.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let plain = quadratic_descend(Sgd::new(0.01), 50, |_| {});
+        let momentum = quadratic_descend(Sgd::with_momentum(0.01, 0.9), 50, |_| {});
+        assert!(momentum < plain, "momentum {momentum} vs plain {plain}");
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let f = quadratic_descend(Adam::new(0.3), 200, |o| o.begin_step());
+        assert!(f < 1e-6, "residual {f}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        // Zero gradient: pure decay pulls weights towards zero.
+        let mut x = vec![2.0f64];
+        let g = Gradients::from_slots(vec![vec![0.0]]);
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        for _ in 0..10 {
+            let mut params: Vec<&mut [f64]> = vec![x.as_mut_slice()];
+            opt.step(0, &mut params, &g);
+        }
+        assert!(x[0] < 2.0 && x[0] > 0.0, "x = {}", x[0]);
+        // 2·(1−0.05)^10
+        assert!((x[0] - 2.0 * 0.95f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_layer_state_is_independent() {
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let mut x0 = vec![1.0f64];
+        let mut x1 = vec![1.0f64];
+        let g = Gradients::from_slots(vec![vec![1.0]]);
+        for _ in 0..3 {
+            let mut p0: Vec<&mut [f64]> = vec![x0.as_mut_slice()];
+            opt.step(0, &mut p0, &g);
+        }
+        let mut p1: Vec<&mut [f64]> = vec![x1.as_mut_slice()];
+        opt.step(1, &mut p1, &g);
+        // Layer 1 saw one fresh-momentum step only.
+        assert!((x1[0] - 0.9).abs() < 1e-12);
+        assert!(x0[0] < x1[0]);
+    }
+}

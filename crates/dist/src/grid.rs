@@ -1,0 +1,118 @@
+//! The `√p × √p` process grid and block boundaries.
+//!
+//! The paper's theory (Section 7.1) slices `A` into `p` blocks of size
+//! `n/√p × n/√p`; the strong/weak-scaling experiments use node counts
+//! that are perfect squares (1, 4, 16, 64, 256, 1024). Row and column
+//! blockings share one set of boundaries, so the diagonal rank `(b, b)`
+//! always owns the feature block matching row range `b` — the root of the
+//! row-side broadcasts.
+
+/// A square process grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid {
+    /// Side length `q = √p`.
+    pub q: usize,
+}
+
+impl Grid {
+    /// Builds the grid for `p` ranks.
+    ///
+    /// # Panics
+    /// Panics if `p` is not a perfect square (the paper's experiments use
+    /// 1, 4, 16, 64, 256, … nodes).
+    pub fn from_ranks(p: usize) -> Self {
+        let q = (p as f64).sqrt().round() as usize;
+        assert_eq!(q * q, p, "rank count {p} is not a perfect square");
+        Self { q }
+    }
+
+    /// Total rank count `p = q²`.
+    pub fn ranks(&self) -> usize {
+        self.q * self.q
+    }
+
+    /// Grid coordinates `(i, j)` of a rank (row-major).
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.ranks());
+        (rank / self.q, rank % self.q)
+    }
+
+    /// The rank at coordinates `(i, j)`.
+    pub fn rank_of(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.q && j < self.q);
+        i * self.q + j
+    }
+
+    /// The ranks of grid row `i`, ordered by column.
+    pub fn row_team(&self, i: usize) -> Vec<usize> {
+        (0..self.q).map(|j| self.rank_of(i, j)).collect()
+    }
+
+    /// The ranks of grid column `j`, ordered by row.
+    pub fn col_team(&self, j: usize) -> Vec<usize> {
+        (0..self.q).map(|i| self.rank_of(i, j)).collect()
+    }
+
+    /// Balanced block boundaries: the `b`-th of `q` blocks of `[0, n)` is
+    /// `[bounds.0, bounds.1)`.
+    pub fn block_bounds(&self, n: usize, b: usize) -> (usize, usize) {
+        debug_assert!(b < self.q);
+        (b * n / self.q, (b + 1) * n / self.q)
+    }
+
+    /// Length of block `b`.
+    pub fn block_len(&self, n: usize, b: usize) -> usize {
+        let (lo, hi) = self.block_bounds(n, b);
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let g = Grid::from_ranks(16);
+        assert_eq!(g.q, 4);
+        for r in 0..16 {
+            let (i, j) = g.coords(r);
+            assert_eq!(g.rank_of(i, j), r);
+        }
+    }
+
+    #[test]
+    fn teams_are_rows_and_columns() {
+        let g = Grid::from_ranks(9);
+        assert_eq!(g.row_team(1), vec![3, 4, 5]);
+        assert_eq!(g.col_team(2), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn blocks_cover_and_balance() {
+        let g = Grid::from_ranks(9);
+        let n = 10; // deliberately not divisible by 3
+        let mut covered = 0;
+        for b in 0..3 {
+            let (lo, hi) = g.block_bounds(n, b);
+            assert_eq!(lo, covered);
+            covered = hi;
+            assert!(g.block_len(n, b) >= n / 3);
+            assert!(g.block_len(n, b) <= n / 3 + 1);
+        }
+        assert_eq!(covered, n);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a perfect square")]
+    fn rejects_non_square_rank_counts() {
+        let _ = Grid::from_ranks(6);
+    }
+
+    #[test]
+    fn single_rank_grid() {
+        let g = Grid::from_ranks(1);
+        assert_eq!(g.block_bounds(100, 0), (0, 100));
+        assert_eq!(g.row_team(0), vec![0]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Analytic per-rank communication-volume prediction.
+//!
+//! The paper's toolchain (Figure 4) derives a parametric communication
+//! model of each formulation before implementing it; this module encodes
+//! that model for the engine in [`crate::layers`], collective by
+//! collective, so the prediction is *checkable*: the test suite and the
+//! `comm_volume` harness compare it against the volumes measured by
+//! `atgnn_net` and require agreement within a tight band.
+//!
+//! Per-rank max volumes of the collectives (q = √p, block words
+//! `W = (n/q)·k`, scalar width `b` bytes):
+//!
+//! * scatter+allgather broadcast of a block: `2·W·b·(q−1)/q` at the root;
+//! * reduce + redistribute: reduce-scatter `W·b·(q−1)/q`, chunk gather
+//!   `W·b/q`, column broadcast `2·W·b·(q−1)/q`;
+//! * column all-reduce: `2·W·b·(q−1)/q`;
+//! * per-vertex vector ops: the same with `k = 1`;
+//! * parameter all-reduce: `2·words·b·(p−1)/p`.
+
+use atgnn::ModelKind;
+
+/// What is being predicted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredictTask {
+    /// Forward passes only.
+    Inference,
+    /// Forward + backward + parameter all-reduce.
+    Training,
+}
+
+/// The elementary accounted collectives of the engine.
+#[derive(Clone, Copy, Debug)]
+enum Coll {
+    /// Row-side block broadcast at feature width `k`.
+    BcastBlock,
+    /// Reduce along rows + redistribute along columns, width `k`.
+    ReduceRedistribute,
+    /// All-reduce along columns, width `k`.
+    AllreduceCol,
+    /// Row-side broadcast of a per-vertex vector.
+    BcastVec,
+    /// All-reduce of a per-vertex vector (row or column team).
+    AllreduceVec,
+    /// Global parameter all-reduce of `words` scalars.
+    Params(usize),
+}
+
+fn coll_bytes(c: Coll, n: usize, k: usize, p: usize, b: usize) -> f64 {
+    let q = (p as f64).sqrt();
+    if p == 1 {
+        return 0.0;
+    }
+    let frac = (q - 1.0) / q;
+    let block = (n as f64 / q) * k as f64 * b as f64;
+    let vec = (n as f64 / q) * b as f64;
+    match c {
+        Coll::BcastBlock => 2.0 * block * frac,
+        Coll::ReduceRedistribute => block * frac + block / q + 2.0 * block * frac,
+        Coll::AllreduceCol => 2.0 * block * frac,
+        Coll::BcastVec => 2.0 * vec * frac,
+        Coll::AllreduceVec => 2.0 * vec * frac,
+        Coll::Params(words) => {
+            2.0 * words as f64 * b as f64 * (p as f64 - 1.0) / p as f64
+        }
+    }
+}
+
+fn forward_ops(kind: ModelKind) -> Vec<Coll> {
+    match kind {
+        ModelKind::Va => vec![Coll::BcastBlock, Coll::ReduceRedistribute],
+        ModelKind::Gcn => vec![Coll::ReduceRedistribute],
+        ModelKind::Agnn => vec![
+            Coll::BcastBlock,
+            Coll::AllreduceVec, // softmax row maxima
+            Coll::AllreduceVec, // softmax row sums
+            Coll::ReduceRedistribute,
+        ],
+        ModelKind::Gat => vec![
+            Coll::BcastVec, // u_i
+            Coll::AllreduceVec,
+            Coll::AllreduceVec,
+            Coll::ReduceRedistribute,
+        ],
+    }
+}
+
+fn backward_ops(kind: ModelKind, k: usize) -> Vec<Coll> {
+    match kind {
+        ModelKind::Va => vec![
+            Coll::BcastBlock, // M_i
+            Coll::ReduceRedistribute,
+            Coll::AllreduceCol,
+            Coll::Params(k * k),
+        ],
+        ModelKind::Gcn => vec![
+            Coll::BcastBlock, // G_i
+            Coll::AllreduceCol,
+            Coll::Params(k * k),
+        ],
+        ModelKind::Agnn => vec![
+            Coll::BcastBlock,        // G_i
+            Coll::AllreduceVec,      // softmax row dots
+            Coll::ReduceRedistribute, // P H
+            Coll::AllreduceCol,      // Pᵀ H
+            Coll::AllreduceVec,      // row_corr (row team)
+            Coll::BcastVec,          // row_corr_j down the column
+            Coll::AllreduceVec,      // col_corr (column team)
+            Coll::AllreduceCol,      // Ψᵀ G
+            Coll::Params(k * k),
+            Coll::Params(1),
+        ],
+        ModelKind::Gat => vec![
+            Coll::BcastBlock,   // G_i
+            Coll::AllreduceVec, // softmax row dots
+            Coll::AllreduceVec, // du (row team)
+            Coll::AllreduceVec, // dv (column team)
+            Coll::BcastVec,     // du_j down the column
+            Coll::AllreduceCol, // Ψᵀ G
+            Coll::Params(k * k),
+            Coll::Params(k),
+            Coll::Params(k),
+        ],
+    }
+}
+
+/// Predicted per-rank communication volume in bytes for `layers` layers
+/// of `kind` with feature width `k` on a `p`-rank grid (scalar width
+/// `scalar_bytes`).
+pub fn predict_volume(
+    kind: ModelKind,
+    task: PredictTask,
+    n: usize,
+    k: usize,
+    layers: usize,
+    p: usize,
+    scalar_bytes: usize,
+) -> f64 {
+    let mut per_layer = 0.0;
+    for c in forward_ops(kind) {
+        per_layer += coll_bytes(c, n, k, p, scalar_bytes);
+    }
+    if task == PredictTask::Training {
+        for c in backward_ops(kind, k) {
+            per_layer += coll_bytes(c, n, k, p, scalar_bytes);
+        }
+    }
+    per_layer * layers as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DistContext, DistGnnModel};
+    use atgnn_net::Cluster;
+    use atgnn_tensor::{init, Activation};
+
+    fn measure(kind: ModelKind, task: PredictTask, n: usize, k: usize, layers: usize, p: usize) -> u64 {
+        let edges: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| (1..6u32).map(move |d| (i, (i + d * 7) % n as u32)))
+            .filter(|&(a, b)| a != b)
+            .collect();
+        let mut coo = atgnn_sparse::Coo::from_edges(n, n, edges);
+        coo.symmetrize_binary();
+        let a = atgnn_sparse::Csr::<f64>::from_coo(&coo);
+        let a = atgnn::GnnModel::<f64>::prepare_adjacency(kind, &a);
+        let x = init::features::<f64>(n, k, 3);
+        let target = init::features::<f64>(n, k, 5);
+        let dims = vec![k; layers + 1];
+        let (_, stats) = Cluster::run(p, move |comm| {
+            let ctx = DistContext::new(&comm, &a);
+            let mut model = DistGnnModel::<f64>::uniform(kind, &dims, Activation::Relu, 7);
+            let (c0, c1) = ctx.col_range();
+            let x_j = x.slice_rows(c0, c1 - c0);
+            match task {
+                PredictTask::Inference => {
+                    model.inference(&ctx, &x_j);
+                }
+                PredictTask::Training => {
+                    let t_j = target.slice_rows(c0, c1 - c0);
+                    model.train_step_mse(&ctx, &x_j, &t_j, 0.001, k);
+                }
+            }
+        });
+        stats.max_rank_bytes()
+    }
+
+    #[test]
+    fn prediction_matches_measurement_for_every_model_and_task() {
+        let (n, k, layers) = (64usize, 8usize, 2usize);
+        for p in [4usize, 16] {
+            for kind in [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat, ModelKind::Gcn] {
+                for task in [PredictTask::Inference, PredictTask::Training] {
+                    let predicted = predict_volume(kind, task, n, k, layers, p, 8);
+                    let measured = measure(kind, task, n, k, layers, p) as f64;
+                    let ratio = measured / predicted;
+                    assert!(
+                        (0.5..2.0).contains(&ratio),
+                        "{kind:?}/{task:?} p={p}: measured {measured} vs predicted {predicted} (ratio {ratio:.2})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_predicts_zero() {
+        assert_eq!(
+            predict_volume(ModelKind::Gat, PredictTask::Training, 1000, 16, 3, 1, 4),
+            0.0
+        );
+    }
+
+    #[test]
+    fn training_predicts_more_than_inference() {
+        for kind in [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat, ModelKind::Gcn] {
+            let i = predict_volume(kind, PredictTask::Inference, 4096, 16, 3, 16, 4);
+            let t = predict_volume(kind, PredictTask::Training, 4096, 16, 3, 16, 4);
+            assert!(t > i, "{kind:?}");
+            // §7.2: asymptotically the same order — within a small factor.
+            assert!(t < 5.0 * i, "{kind:?}: training/inference = {}", t / i);
+        }
+    }
+
+    #[test]
+    fn volume_scales_as_inverse_sqrt_p_at_scale() {
+        let v = |p: usize| {
+            predict_volume(ModelKind::Va, PredictTask::Inference, 1 << 20, 16, 1, p, 4)
+        };
+        // Large q: (q−1)/q → 1, so v(p)/v(4p) → 2.
+        let ratio = v(1024) / v(4096);
+        assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
+    }
+}

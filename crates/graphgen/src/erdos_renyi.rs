@@ -1,0 +1,115 @@
+//! Erdős–Rényi random graphs (the artifact's "random uniform degree
+//! distribution", dataset B2).
+//!
+//! The paper uses these for the weak-scaling verification of the
+//! communication-cost analysis (Section 7.3 / 8.4): in `G_{n,q}` every
+//! edge exists independently with probability `q`, giving a concentrated
+//! (uniform) degree distribution and excellent load balance. The artifact
+//! parameterizes by edge count, so [`edges`] samples exactly `m` distinct
+//! directed pairs (`G_{n,m}`, equivalent in this regime).
+
+use atgnn_sparse::Coo;
+use atgnn_tensor::Scalar;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// Samples `m` distinct directed edges (no self-loops) uniformly at
+/// random among the `n(n-1)` possibilities.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges.
+pub fn edges<T: Scalar>(n: usize, m: usize, seed: u64) -> Coo<T> {
+    let possible = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= possible, "cannot place {m} edges in a {n}-vertex graph");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut seen = HashSet::with_capacity(m * 2);
+    let mut list = Vec::with_capacity(m);
+    // Rejection sampling is efficient while m ≪ n²; the densest paper
+    // configuration is ρ = 1%, far below the threshold where Floyd's
+    // algorithm would be needed.
+    while list.len() < m {
+        let r = rng.gen_range(0..n) as u32;
+        let c = rng.gen_range(0..n) as u32;
+        if r != c && seen.insert((r, c)) {
+            list.push((r, c));
+        }
+    }
+    Coo::from_edges(n, n, list)
+}
+
+/// `G_{n,q}`: every directed edge independently with probability `q`
+/// (used by the theory tests, where `q` is the natural parameter).
+pub fn gnp<T: Scalar>(n: usize, q: f64, seed: u64) -> Coo<T> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut list = Vec::new();
+    for r in 0..n as u32 {
+        for c in 0..n as u32 {
+            if r != c && rng.gen::<f64>() < q {
+                list.push((r, c));
+            }
+        }
+    }
+    Coo::from_edges(n, n, list)
+}
+
+/// A prepared (symmetric, loop-free, min-degree-1) ER adjacency matrix
+/// with `m` directed edges before symmetrization.
+pub fn adjacency<T: Scalar>(n: usize, m: usize, seed: u64) -> atgnn_sparse::Csr<T> {
+    crate::prepare_adjacency(edges::<T>(n, m, seed), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn exact_edge_count_distinct() {
+        let coo = edges::<f64>(100, 500, 1);
+        assert_eq!(coo.nnz(), 500);
+        let set: HashSet<_> = coo.entries.iter().collect();
+        assert_eq!(set.len(), 500);
+        for &(r, c) in &coo.entries {
+            assert_ne!(r, c);
+        }
+    }
+
+    #[test]
+    fn gnp_density_close_to_q() {
+        let n = 300;
+        let q = 0.05;
+        let coo = gnp::<f64>(n, q, 2);
+        let density = coo.nnz() as f64 / (n * (n - 1)) as f64;
+        assert!((density - q).abs() < 0.01, "density {density}");
+    }
+
+    #[test]
+    fn degrees_are_concentrated() {
+        // ER graphs have a light-tailed (binomial) degree distribution:
+        // the max degree stays within a small factor of the mean —
+        // the opposite of the Kronecker heavy tail.
+        let a = adjacency::<f64>(1 << 12, 1 << 16, 3);
+        let stats = DegreeStats::of(&a);
+        assert!(
+            (stats.max as f64) < 3.0 * stats.mean,
+            "max {} vs mean {}",
+            stats.max,
+            stats.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn rejects_impossible_edge_counts() {
+        let _ = edges::<f64>(3, 100, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = edges::<f32>(50, 100, 9);
+        let b = edges::<f32>(50, 100, 9);
+        assert_eq!(a.entries, b.entries);
+    }
+}

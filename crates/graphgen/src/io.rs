@@ -1,0 +1,117 @@
+//! Edge-list persistence.
+//!
+//! The artifact can "load the adjacency matrix from a file in the COO
+//! format stored in the compressed numpy (.npz) file format", with vertex
+//! and edge counts read from the file. This module provides the same
+//! capability with a simple self-describing binary format:
+//!
+//! ```text
+//! magic  b"ATGNNCOO"          (8 bytes)
+//! rows   u64 little-endian
+//! cols   u64 little-endian
+//! nnz    u64 little-endian
+//! nnz × (row u32, col u32, value f64)   little-endian triplets
+//! ```
+
+use atgnn_sparse::Coo;
+use atgnn_tensor::Scalar;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"ATGNNCOO";
+
+/// Writes a COO matrix to `path`.
+pub fn save_coo<T: Scalar>(coo: &Coo<T>, path: &Path) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(MAGIC)?;
+    f.write_all(&(coo.rows() as u64).to_le_bytes())?;
+    f.write_all(&(coo.cols() as u64).to_le_bytes())?;
+    f.write_all(&(coo.nnz() as u64).to_le_bytes())?;
+    for (&(r, c), &v) in coo.entries.iter().zip(&coo.values) {
+        f.write_all(&r.to_le_bytes())?;
+        f.write_all(&c.to_le_bytes())?;
+        f.write_all(&v.to_f64().to_le_bytes())?;
+    }
+    f.flush()
+}
+
+/// Reads a COO matrix from `path`. The vertex and edge counts come from
+/// the file header, as in the artifact.
+pub fn load_coo<T: Scalar>(path: &Path) -> io::Result<Coo<T>> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an ATGNNCOO file",
+        ));
+    }
+    let mut u64buf = [0u8; 8];
+    f.read_exact(&mut u64buf)?;
+    let rows = u64::from_le_bytes(u64buf) as usize;
+    f.read_exact(&mut u64buf)?;
+    let cols = u64::from_le_bytes(u64buf) as usize;
+    f.read_exact(&mut u64buf)?;
+    let nnz = u64::from_le_bytes(u64buf) as usize;
+    let mut entries = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    let mut u32buf = [0u8; 4];
+    for _ in 0..nnz {
+        f.read_exact(&mut u32buf)?;
+        let r = u32::from_le_bytes(u32buf);
+        f.read_exact(&mut u32buf)?;
+        let c = u32::from_le_bytes(u32buf);
+        f.read_exact(&mut u64buf)?;
+        entries.push((r, c));
+        values.push(T::from_f64(f64::from_le_bytes(u64buf)));
+    }
+    Ok(Coo::from_triplets(rows, cols, entries, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let coo = Coo::from_triplets(
+            5,
+            7,
+            vec![(0, 6), (4, 0), (2, 3)],
+            vec![1.5, -2.0, 0.25],
+        );
+        let dir = std::env::temp_dir().join("atgnn_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.coo");
+        save_coo(&coo, &path).unwrap();
+        let back: Coo<f64> = load_coo(&path).unwrap();
+        assert_eq!(back.rows(), 5);
+        assert_eq!(back.cols(), 7);
+        assert_eq!(back.entries, coo.entries);
+        assert_eq!(back.values, coo.values);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir().join("atgnn_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.coo");
+        std::fs::write(&path, b"definitely not a coo file").unwrap();
+        assert!(load_coo::<f64>(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn f32_values_survive_via_f64() {
+        let coo = Coo::<f32>::from_triplets(2, 2, vec![(0, 1)], vec![0.125]);
+        let dir = std::env::temp_dir().join("atgnn_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f32.coo");
+        save_coo(&coo, &path).unwrap();
+        let back: Coo<f32> = load_coo(&path).unwrap();
+        assert_eq!(back.values, vec![0.125f32]);
+        std::fs::remove_file(path).ok();
+    }
+}

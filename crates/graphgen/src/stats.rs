@@ -1,0 +1,113 @@
+//! Degree statistics — the `d` (max degree) of the communication bounds
+//! and the skew diagnostics the generators are tested against.
+
+use atgnn_sparse::Csr;
+use atgnn_tensor::Scalar;
+
+/// Summary statistics of a graph's degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of stored entries (directed edge slots).
+    pub m: usize,
+    /// Maximum out-degree — the `d` in `Ω(nkd/p)`.
+    pub max: usize,
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Density `ρ = m / n²`, the paper's sweep parameter.
+    pub density: f64,
+    /// Coefficient of variation of the degrees (σ/μ) — ≫1 for heavy
+    /// tails, ≪1 for uniform random graphs.
+    pub cv: f64,
+}
+
+impl DegreeStats {
+    /// Computes the statistics of a CSR adjacency matrix.
+    pub fn of<T: Scalar>(a: &Csr<T>) -> Self {
+        let n = a.rows();
+        let m = a.nnz();
+        let degrees = a.out_degrees();
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let min = degrees.iter().copied().min().unwrap_or(0);
+        let mean = if n == 0 { 0.0 } else { m as f64 / n as f64 };
+        let var = if n == 0 {
+            0.0
+        } else {
+            degrees
+                .iter()
+                .map(|&d| {
+                    let diff = d as f64 - mean;
+                    diff * diff
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        let cv = if mean == 0.0 { 0.0 } else { var.sqrt() / mean };
+        let density = if n == 0 { 0.0 } else { m as f64 / (n as f64 * n as f64) };
+        Self {
+            n,
+            m,
+            max,
+            min,
+            mean,
+            density,
+            cv,
+        }
+    }
+}
+
+impl std::fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} density={:.4}% degree(min/mean/max)={}/{:.1}/{} cv={:.2}",
+            self.n,
+            self.m,
+            self.density * 100.0,
+            self.min,
+            self.mean,
+            self.max,
+            self.cv
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgnn_sparse::Coo;
+
+    #[test]
+    fn stats_of_star_graph() {
+        // Star: vertex 0 points at everyone.
+        let edges: Vec<(u32, u32)> = (1..5u32).map(|i| (0, i)).collect();
+        let a: Csr<f64> = Csr::from_coo(&Coo::from_edges(5, 5, edges));
+        let s = DegreeStats::of(&a);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.m, 4);
+        assert!((s.mean - 0.8).abs() < 1e-12);
+        assert!(s.cv > 1.0);
+    }
+
+    #[test]
+    fn stats_of_regular_graph() {
+        let edges: Vec<(u32, u32)> = (0..6u32).map(|i| (i, (i + 1) % 6)).collect();
+        let a: Csr<f64> = Csr::from_coo(&Coo::from_edges(6, 6, edges));
+        let s = DegreeStats::of(&a);
+        assert_eq!(s.max, 1);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.cv, 0.0);
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let a: Csr<f64> = Csr::empty(0, 0);
+        let s = DegreeStats::of(&a);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+}

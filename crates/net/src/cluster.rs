@@ -1,0 +1,344 @@
+//! The cluster driver: spawn ranks, run an SPMD closure, collect results
+//! and communication statistics.
+
+use crate::comm::{Comm, Msg};
+use crate::stats::{CommStats, Counters};
+use crossbeam::channel::unbounded;
+use std::sync::{Arc, Barrier};
+
+/// A simulated cluster of `p` ranks.
+pub struct Cluster;
+
+impl Cluster {
+    /// Runs `f(comm)` on `p` ranks (one OS thread each) and returns the
+    /// per-rank results (indexed by rank) together with the communication
+    /// statistics of the whole run.
+    ///
+    /// The closure must be deterministic SPMD code: every `recv` must have
+    /// a matching `send`. A rank panicking propagates the panic to the
+    /// caller.
+    pub fn run<R, F>(p: usize, f: F) -> (Vec<R>, CommStats)
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        assert!(p >= 1, "a cluster needs at least one rank");
+        let counters = Arc::new(Counters::new(p));
+        let barrier = Arc::new(Barrier::new(p));
+        // One channel per (src, dst) pair; receivers handed to dst.
+        let mut senders: Vec<Vec<crossbeam::channel::Sender<Msg>>> = Vec::with_capacity(p);
+        let mut receivers_by_dst: Vec<Vec<Option<crossbeam::channel::Receiver<Msg>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        for src in 0..p {
+            let mut row = Vec::with_capacity(p);
+            for (dst, slots) in receivers_by_dst.iter_mut().enumerate() {
+                let (tx, rx) = unbounded();
+                row.push(tx);
+                slots[src] = Some(rx);
+                let _ = dst;
+            }
+            senders.push(row);
+        }
+        let senders = Arc::new(senders);
+
+        let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, receivers) in receivers_by_dst.into_iter().enumerate() {
+                let comm = Comm::new(
+                    rank,
+                    p,
+                    Arc::clone(&senders),
+                    receivers.into_iter().map(|r| r.unwrap()).collect(),
+                    Arc::clone(&barrier),
+                    Arc::clone(&counters),
+                );
+                let f = &f;
+                handles.push(scope.spawn(move || f(comm)));
+            }
+            for (rank, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(r) => results[rank] = Some(r),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+        (
+            results.into_iter().map(|r| r.unwrap()).collect(),
+            counters.snapshot(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let (results, stats) = Cluster::run(1, |comm| comm.rank() + comm.size());
+        assert_eq!(results, vec![1]);
+        assert_eq!(stats.total_bytes(), 0);
+    }
+
+    #[test]
+    fn ring_pass_accounts_bytes() {
+        let p = 4;
+        let (results, stats) = Cluster::run(p, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 7, vec![comm.rank() as f64; 10]);
+            let got: Vec<f64> = comm.recv(prev, 7);
+            got[0] as usize
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+        // Each rank sent 10 f64 = 80 bytes.
+        assert_eq!(stats.total_bytes(), 4 * 80);
+        assert_eq!(stats.max_rank_bytes(), 80);
+        assert_eq!(stats.total_messages(), 4);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_member_for_all_roots_and_sizes() {
+        for p in [1usize, 2, 3, 4, 5, 7, 8] {
+            for root in 0..p {
+                let (results, _) = Cluster::run(p, |comm| {
+                    let members: Vec<usize> = (0..comm.size()).collect();
+                    let data = if comm.rank() == root {
+                        Some(vec![42.0f32, root as f32])
+                    } else {
+                        None
+                    };
+                    comm.broadcast_group(&members, root, data, 1)
+                });
+                for r in &results {
+                    assert_eq!(r, &vec![42.0f32, root as f32], "p={p} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_volume_is_group_size_times_payload() {
+        // A binomial tree transmits the payload exactly g-1 times.
+        let p = 8;
+        let payload = 100usize;
+        let (_, stats) = Cluster::run(p, move |comm| {
+            let members: Vec<usize> = (0..comm.size()).collect();
+            let data = (comm.rank() == 0).then(|| vec![0u8; payload]);
+            comm.broadcast_group(&members, 0, data, 1)
+        });
+        assert_eq!(stats.total_bytes() as usize, (p - 1) * payload);
+    }
+
+    #[test]
+    fn reduce_sums_contributions_for_all_roots() {
+        for p in [1usize, 2, 3, 5, 8] {
+            for root in 0..p {
+                let (results, _) = Cluster::run(p, |comm| {
+                    let members: Vec<usize> = (0..comm.size()).collect();
+                    comm.reduce_group(
+                        &members,
+                        root,
+                        vec![comm.rank() as f64, 1.0],
+                        2,
+                        |mut a, b| {
+                            for (x, y) in a.iter_mut().zip(b) {
+                                *x += y;
+                            }
+                            a
+                        },
+                    )
+                });
+                let expect: f64 = (0..p).map(|r| r as f64).sum();
+                for (r, res) in results.iter().enumerate() {
+                    if r == root {
+                        assert_eq!(res.as_ref().unwrap(), &vec![expect, p as f64]);
+                    } else {
+                        assert!(res.is_none(), "p={p} root={root} rank={r}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_gives_everyone_the_total() {
+        let p = 6;
+        let (results, _) = Cluster::run(p, |comm| {
+            let members: Vec<usize> = (0..comm.size()).collect();
+            comm.allreduce_group(&members, vec![1.0f64], 3, |mut a, b| {
+                a[0] += b[0];
+                a
+            })
+        });
+        for r in results {
+            assert_eq!(r, vec![p as f64]);
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_group_index() {
+        let (results, _) = Cluster::run(4, |comm| {
+            // Group of the even ranks only.
+            if comm.rank() % 2 == 0 {
+                let members = vec![0usize, 2];
+                comm.allgather_group(&members, vec![comm.rank() as u32], 4)
+            } else {
+                Vec::new()
+            }
+        });
+        assert_eq!(results[0], vec![vec![0u32], vec![2u32]]);
+        assert_eq!(results[2], vec![vec![0u32], vec![2u32]]);
+        assert!(results[1].is_empty());
+    }
+
+    #[test]
+    fn alltoall_delivers_personalized_payloads() {
+        let p = 3;
+        let (results, _) = Cluster::run(p, |comm| {
+            let members: Vec<usize> = (0..comm.size()).collect();
+            let data: Vec<Vec<u32>> = (0..comm.size())
+                .map(|dst| vec![(comm.rank() * 10 + dst) as u32])
+                .collect();
+            comm.alltoall_group(&members, data, 5)
+        });
+        // Rank r receives [0r, 1r, 2r] ordered by source.
+        for (r, res) in results.iter().enumerate() {
+            let expect: Vec<Vec<u32>> = (0..p).map(|src| vec![(src * 10 + r) as u32]).collect();
+            assert_eq!(res, &expect);
+        }
+    }
+
+    #[test]
+    fn subgroup_collectives_do_not_interfere() {
+        // Two disjoint row teams broadcasting concurrently.
+        let (results, _) = Cluster::run(4, |comm| {
+            let members = if comm.rank() < 2 {
+                vec![0usize, 1]
+            } else {
+                vec![2usize, 3]
+            };
+            let root_val = members[0] as u32;
+            let data = (comm.rank() == members[0]).then_some(vec![root_val]);
+            comm.broadcast_group(&members, 0, data, 9)
+        });
+        assert_eq!(results, vec![vec![0], vec![0], vec![2], vec![2]]);
+    }
+
+    #[test]
+    fn phase_tagging_splits_bytes() {
+        let (_, stats) = Cluster::run(2, |comm| {
+            comm.set_phase("fwd");
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![0f32; 25]);
+            } else {
+                let _: Vec<f32> = comm.recv(0, 1);
+            }
+            comm.barrier();
+            comm.set_phase("bwd");
+            if comm.rank() == 1 {
+                comm.send(0, 2, vec![0f64; 5]);
+            } else {
+                let _: Vec<f64> = comm.recv(1, 2);
+            }
+        });
+        assert_eq!(stats.phase_total("fwd"), 100);
+        assert_eq!(stats.phase_total("bwd"), 40);
+    }
+
+    #[test]
+    fn vec_broadcast_matches_tree_broadcast_for_all_roots() {
+        for p in [2usize, 3, 5, 8] {
+            for root in 0..p {
+                for len in [0usize, 1, 3, 17] {
+                    let (results, _) = Cluster::run(p, |comm| {
+                        let members: Vec<usize> = (0..comm.size()).collect();
+                        let data = (comm.rank() == root)
+                            .then(|| (0..len as u32).map(|i| i * 3 + root as u32).collect::<Vec<u32>>());
+                        comm.bcast_vec_group(&members, root, data, len, 11)
+                    });
+                    let expect: Vec<u32> = (0..len as u32).map(|i| i * 3 + root as u32).collect();
+                    for r in &results {
+                        assert_eq!(r, &expect, "p={p} root={root} len={len}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vec_allreduce_handles_short_vectors() {
+        // len < g: some chunks are empty; the result must still be exact.
+        let p = 8;
+        let (results, _) = Cluster::run(p, |comm| {
+            let members: Vec<usize> = (0..comm.size()).collect();
+            comm.allreduce_vec_group(&members, vec![1.0f64, 2.0, 3.0], 13, |a, b| a + b)
+        });
+        for r in results {
+            assert_eq!(r, vec![8.0, 16.0, 24.0]);
+        }
+    }
+
+    #[test]
+    fn vec_reduce_collects_at_every_root() {
+        for root in 0..4 {
+            let (results, _) = Cluster::run(4, |comm| {
+                let members: Vec<usize> = (0..comm.size()).collect();
+                comm.reduce_vec_group(
+                    &members,
+                    root,
+                    vec![comm.rank() as f64; 10],
+                    17,
+                    |a, b| a + b,
+                )
+            });
+            for (r, res) in results.iter().enumerate() {
+                if r == root {
+                    assert_eq!(res.as_ref().unwrap(), &vec![6.0; 10]);
+                } else {
+                    assert!(res.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_broadcast_volume_is_bandwidth_optimal() {
+        // Scatter+allgather: the root sends at most ~2·bytes, regardless
+        // of the group size — unlike the binomial tree's bytes·log g.
+        let p = 8;
+        let payload = 8000usize; // bytes (u8)
+        let (_, stats) = Cluster::run(p, move |comm| {
+            let members: Vec<usize> = (0..comm.size()).collect();
+            let data = (comm.rank() == 0).then(|| vec![0u8; payload]);
+            comm.bcast_vec_group(&members, 0, data, payload, 19)
+        });
+        let max = stats.max_rank_bytes() as usize;
+        assert!(max <= 2 * payload, "max per rank {max} > 2×payload");
+        // Total: scatter moves ≈1 payload, the chunk allgather ≈(g−1)
+        // payloads spread evenly — the per-rank max is what matters.
+        assert!(stats.total_bytes() as usize <= (p + 1) * payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "tag mismatch")]
+    fn tag_mismatch_is_detected() {
+        let _ = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![0u8; 1]);
+            } else {
+                let _: Vec<u8> = comm.recv(0, 2);
+            }
+        });
+    }
+
+    #[test]
+    fn self_send_costs_nothing() {
+        let (_, stats) = Cluster::run(1, |comm| {
+            comm.send(0, 1, vec![0u8; 1000]);
+            let _: Vec<u8> = comm.recv(0, 1);
+        });
+        assert_eq!(stats.total_bytes(), 0);
+    }
+}

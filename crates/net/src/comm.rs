@@ -1,0 +1,448 @@
+//! The per-rank communicator.
+//!
+//! [`Comm`] provides MPI-like point-to-point messaging and the collectives
+//! the paper's distribution scheme uses — broadcast along grid columns,
+//! reduction along grid rows, allreduce of replicated parameter gradients
+//! — over arbitrary rank subsets ("groups"), since the 2D process grid
+//! communicates within rows and columns.
+//!
+//! Every transmitted payload is accounted through [`crate::stats`];
+//! collectives are built *on top of* point-to-point sends so their cost is
+//! measured, not assumed: broadcast and reduce use binomial trees
+//! (`O(log g)` supersteps, matching the paper's Section 7.1 analysis),
+//! allgather and all-to-all are direct exchanges (one superstep).
+
+use crate::stats::Counters;
+use crate::wire::Wire;
+use crossbeam::channel::{Receiver, Sender};
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::{Arc, Barrier};
+
+pub(crate) struct Msg {
+    tag: u32,
+    payload: Box<dyn Any + Send>,
+}
+
+/// The communicator handle owned by one rank.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Vec<Sender<Msg>>>>,
+    receivers: Vec<Receiver<Msg>>,
+    barrier: Arc<Barrier>,
+    counters: Arc<Counters>,
+    phase: RefCell<String>,
+}
+
+fn ceil_log2(g: usize) -> u64 {
+    (usize::BITS - g.saturating_sub(1).leading_zeros()) as u64
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Arc<Vec<Vec<Sender<Msg>>>>,
+        receivers: Vec<Receiver<Msg>>,
+        barrier: Arc<Barrier>,
+        counters: Arc<Counters>,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            senders,
+            receivers,
+            barrier,
+            counters,
+            phase: RefCell::new(String::from("default")),
+        }
+    }
+
+    /// This rank's id in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Tags subsequent traffic with a phase label for the per-phase
+    /// byte breakdown.
+    pub fn set_phase(&self, phase: &str) {
+        *self.phase.borrow_mut() = phase.to_string();
+    }
+
+    /// Sends `payload` to `to`. Self-sends are delivered but cost zero
+    /// bytes (an MPI implementation would not touch the network).
+    pub fn send<V: Wire>(&self, to: usize, tag: u32, payload: V) {
+        assert!(to < self.size, "send to rank {to} of {}", self.size);
+        if to != self.rank {
+            self.counters
+                .record_send(self.rank, payload.wire_bytes(), &self.phase.borrow());
+        }
+        self.senders[self.rank][to]
+            .send(Msg {
+                tag,
+                payload: Box::new(payload),
+            })
+            .expect("receiver dropped");
+    }
+
+    /// Receives the next message from `from`; the tag and payload type
+    /// must match what was sent (SPMD programs are deterministic, so FIFO
+    /// order per channel pair suffices).
+    pub fn recv<V: Wire>(&self, from: usize, tag: u32) -> V {
+        assert!(from < self.size, "recv from rank {from} of {}", self.size);
+        let msg = self.receivers[from].recv().expect("sender dropped");
+        assert_eq!(
+            msg.tag, tag,
+            "rank {}: tag mismatch receiving from {from} (got {}, want {tag})",
+            self.rank, msg.tag
+        );
+        *msg.payload.downcast::<V>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: payload type mismatch receiving from {from} (tag {tag})",
+                self.rank
+            )
+        })
+    }
+
+    /// Charges `steps` BSP supersteps to this rank's accounting — used by
+    /// higher-level protocols built on raw send/recv (e.g. the halo
+    /// exchange, which is one superstep of point-to-point traffic).
+    pub fn charge_supersteps(&self, steps: u64) {
+        self.counters.record_steps(self.rank, steps);
+    }
+
+    /// Global barrier over all ranks (one superstep).
+    pub fn barrier(&self) {
+        self.counters.record_steps(self.rank, 1);
+        self.barrier.wait();
+    }
+
+    fn index_in(&self, members: &[usize]) -> usize {
+        members
+            .iter()
+            .position(|&m| m == self.rank)
+            .unwrap_or_else(|| panic!("rank {} not in group {members:?}", self.rank))
+    }
+
+    /// Binomial-tree broadcast within `members` from `members[root_idx]`.
+    /// The root passes `Some(data)`, everyone else `None`; all members
+    /// return the broadcast value. `O(log g)` supersteps.
+    pub fn broadcast_group<V: Wire + Clone>(
+        &self,
+        members: &[usize],
+        root_idx: usize,
+        data: Option<V>,
+        tag: u32,
+    ) -> V {
+        let g = members.len();
+        let me = self.index_in(members);
+        self.counters.record_steps(self.rank, ceil_log2(g));
+        if g == 1 {
+            return data.expect("broadcast root must supply data");
+        }
+        let rel = (me + g - root_idx) % g;
+        // Receive phase: a non-root node receives from the parent obtained
+        // by clearing the lowest set bit of its relative rank.
+        let (value, recv_bit) = if rel == 0 {
+            let mut m = 1usize;
+            while m < g {
+                m <<= 1;
+            }
+            (data.expect("broadcast root must supply data"), m)
+        } else {
+            let low = rel & rel.wrapping_neg();
+            let src = members[(rel - low + root_idx) % g];
+            (self.recv::<V>(src, tag), low)
+        };
+        // Send phase: forward on every bit below the reception bit
+        // (descending), the canonical binomial-tree schedule.
+        let mut mask = recv_bit >> 1;
+        while mask > 0 {
+            let dst_rel = rel + mask;
+            if dst_rel < g {
+                let dst = members[(dst_rel + root_idx) % g];
+                self.send(dst, tag, value.clone());
+            }
+            mask >>= 1;
+        }
+        value
+    }
+
+    /// Binomial-tree reduction within `members` towards
+    /// `members[root_idx]`. Every member passes its contribution; the root
+    /// returns `Some(total)`, the rest `None`. `O(log g)` supersteps.
+    pub fn reduce_group<V: Wire>(
+        &self,
+        members: &[usize],
+        root_idx: usize,
+        data: V,
+        tag: u32,
+        combine: impl Fn(V, V) -> V,
+    ) -> Option<V> {
+        let g = members.len();
+        let me = self.index_in(members);
+        self.counters.record_steps(self.rank, ceil_log2(g));
+        let rel = (me + g - root_idx) % g;
+        let mut val = data;
+        let mut mask = 1usize;
+        while mask < g {
+            if rel & mask == 0 {
+                let src_rel = rel | mask;
+                if src_rel < g {
+                    let src = members[(src_rel + root_idx) % g];
+                    let other = self.recv::<V>(src, tag);
+                    val = combine(val, other);
+                }
+            } else {
+                let dst_rel = rel & !mask;
+                let dst = members[(dst_rel + root_idx) % g];
+                self.send(dst, tag, val);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(val)
+    }
+
+    /// Allreduce within `members` (reduce to `members[0]`, then
+    /// broadcast). All members return the total.
+    pub fn allreduce_group<V: Wire + Clone>(
+        &self,
+        members: &[usize],
+        data: V,
+        tag: u32,
+        combine: impl Fn(V, V) -> V,
+    ) -> V {
+        let reduced = self.reduce_group(members, 0, data, tag, combine);
+        self.broadcast_group(members, 0, reduced, tag.wrapping_add(1))
+    }
+
+    /// Direct allgather within `members`: returns every member's
+    /// contribution, ordered by group index. One superstep.
+    pub fn allgather_group<V: Wire + Clone>(&self, members: &[usize], data: V, tag: u32) -> Vec<V> {
+        let g = members.len();
+        let me = self.index_in(members);
+        self.counters.record_steps(self.rank, 1);
+        for (i, &m) in members.iter().enumerate() {
+            if i != me {
+                self.send(m, tag, data.clone());
+            }
+        }
+        let mut out = Vec::with_capacity(g);
+        for (i, &m) in members.iter().enumerate() {
+            if i == me {
+                out.push(data.clone());
+            } else {
+                out.push(self.recv::<V>(m, tag));
+            }
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------
+    // Bandwidth-optimal large-message collectives.
+    //
+    // The binomial-tree collectives above give the root O(bytes·log g)
+    // volume — fine for the O(k²) parameter traffic, but the paper's
+    // Section 7.1 bounds assume the standard large-message algorithms
+    // (van-de-Geijn scatter+allgather broadcast, Rabenseifner
+    // reduce-scatter reductions) whose per-rank volume is O(bytes)
+    // regardless of role. These vector variants implement them.
+    // -----------------------------------------------------------------
+
+    /// Chunk `m` of `g` balanced chunks of `[0, len)`.
+    fn chunk_bounds(len: usize, g: usize, m: usize) -> (usize, usize) {
+        (m * len / g, (m + 1) * len / g)
+    }
+
+    /// Large-message broadcast: the root scatters balanced chunks, then a
+    /// direct allgather reassembles the vector everywhere. Per-rank volume
+    /// ≤ 2·bytes; 2 supersteps. `len` must be the (globally known) vector
+    /// length.
+    pub fn bcast_vec_group<T: Clone + Send + 'static>(
+        &self,
+        members: &[usize],
+        root_idx: usize,
+        data: Option<Vec<T>>,
+        len: usize,
+        tag: u32,
+    ) -> Vec<T> {
+        let g = members.len();
+        let me = self.index_in(members);
+        if g == 1 {
+            return data.expect("broadcast root must supply data");
+        }
+        self.counters.record_steps(self.rank, 2);
+        // Scatter phase.
+        let my_chunk: Vec<T> = if me == root_idx {
+            let data = data.expect("broadcast root must supply data");
+            assert_eq!(data.len(), len, "broadcast length mismatch at root");
+            let mut own = Vec::new();
+            for m in 0..g {
+                let (lo, hi) = Self::chunk_bounds(len, g, m);
+                if m == root_idx {
+                    own = data[lo..hi].to_vec();
+                } else {
+                    self.send(members[m], tag, data[lo..hi].to_vec());
+                }
+            }
+            own
+        } else {
+            self.recv::<Vec<T>>(members[root_idx], tag)
+        };
+        // Allgather phase (direct exchange of chunks).
+        let chunks = self.allgather_group(members, my_chunk, tag.wrapping_add(1));
+        let mut out = Vec::with_capacity(len);
+        for c in chunks {
+            out.extend(c);
+        }
+        assert_eq!(out.len(), len, "broadcast reassembly length mismatch");
+        out
+    }
+
+    /// Reduce-scatter: every member sends chunk `m` of its local vector
+    /// to member `m`; each member combines the received chunks
+    /// element-wise with its own and returns its reduced chunk. Per-rank
+    /// volume ≈ bytes·(g−1)/g; 1 superstep.
+    pub fn reduce_scatter_group<T: Clone + Send + 'static>(
+        &self,
+        members: &[usize],
+        data: Vec<T>,
+        tag: u32,
+        combine: impl Fn(T, T) -> T,
+    ) -> Vec<T> {
+        let g = members.len();
+        let me = self.index_in(members);
+        if g == 1 {
+            return data;
+        }
+        self.counters.record_steps(self.rank, 1);
+        let len = data.len();
+        for (m, &member) in members.iter().enumerate() {
+            if m != me {
+                let (lo, hi) = Self::chunk_bounds(len, g, m);
+                self.send(member, tag, data[lo..hi].to_vec());
+            }
+        }
+        let (lo, hi) = Self::chunk_bounds(len, g, me);
+        let mut acc = data[lo..hi].to_vec();
+        for (m, &member) in members.iter().enumerate() {
+            if m != me {
+                let other = self.recv::<Vec<T>>(member, tag);
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = combine(a.clone(), b);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Bandwidth-optimal allreduce: reduce-scatter + chunk allgather.
+    /// Per-rank volume ≈ 2·bytes·(g−1)/g; 2 supersteps.
+    pub fn allreduce_vec_group<T: Clone + Send + 'static>(
+        &self,
+        members: &[usize],
+        data: Vec<T>,
+        tag: u32,
+        combine: impl Fn(T, T) -> T,
+    ) -> Vec<T> {
+        let g = members.len();
+        if g == 1 {
+            return data;
+        }
+        let len = data.len();
+        let chunk = self.reduce_scatter_group(members, data, tag, combine);
+        let chunks = self.allgather_group(members, chunk, tag.wrapping_add(1));
+        let mut out = Vec::with_capacity(len);
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+
+    /// Bandwidth-optimal rooted reduce: reduce-scatter + gather of the
+    /// reduced chunks to the root. Per-rank volume ≈ bytes·(g−1)/g plus
+    /// one chunk; the root returns `Some(total)`.
+    pub fn reduce_vec_group<T: Clone + Send + 'static>(
+        &self,
+        members: &[usize],
+        root_idx: usize,
+        data: Vec<T>,
+        tag: u32,
+        combine: impl Fn(T, T) -> T,
+    ) -> Option<Vec<T>> {
+        let g = members.len();
+        let me = self.index_in(members);
+        if g == 1 {
+            return Some(data);
+        }
+        let len = data.len();
+        let chunk = self.reduce_scatter_group(members, data, tag, combine);
+        self.counters.record_steps(self.rank, 1);
+        if me == root_idx {
+            let mut out = vec![None; g];
+            out[me] = Some(chunk);
+            for (m, &member) in members.iter().enumerate() {
+                if m != root_idx {
+                    out[m] = Some(self.recv::<Vec<T>>(member, tag.wrapping_add(2)));
+                }
+            }
+            let mut flat = Vec::with_capacity(len);
+            for c in out {
+                flat.extend(c.expect("chunk gathered"));
+            }
+            Some(flat)
+        } else {
+            self.send(members[root_idx], tag.wrapping_add(2), chunk);
+            None
+        }
+    }
+
+    /// All-to-all personalized exchange within `members`: `data[i]` is
+    /// delivered to `members[i]`; returns one payload per member (by group
+    /// index). One superstep.
+    pub fn alltoall_group<V: Wire>(&self, members: &[usize], data: Vec<V>, tag: u32) -> Vec<V> {
+        let g = members.len();
+        assert_eq!(data.len(), g, "alltoall needs one payload per member");
+        let me = self.index_in(members);
+        self.counters.record_steps(self.rank, 1);
+        let mut mine = None;
+        for (i, (payload, &m)) in data.into_iter().zip(members).enumerate() {
+            if i == me {
+                mine = Some(payload);
+            } else {
+                self.send(m, tag, payload);
+            }
+        }
+        let mut out = Vec::with_capacity(g);
+        for (i, &m) in members.iter().enumerate() {
+            if i == me {
+                out.push(mine.take().expect("own slot present"));
+            } else {
+                out.push(self.recv::<V>(m, tag));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ceil_log2;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! A simulated distributed-memory runtime with communication accounting.
+//!
+//! The paper evaluates on a Cray XC50 with MPI; this crate is the
+//! substitution documented in DESIGN.md: `p` ranks run as OS threads, all
+//! point-to-point messages and collectives move real buffers over
+//! channels, and **every byte sent by every rank is accounted**, per
+//! rank and per phase. The paper's claims live in BSP communication volume
+//! (Section 7) — a property of the algorithm this runtime measures
+//! exactly — while wall-clock on a real machine is projected through the
+//! α–β [`model::MachineModel`].
+//!
+//! * [`cluster::Cluster`] — spawns ranks, runs an SPMD closure, collects
+//!   per-rank results and the [`stats::CommStats`].
+//! * [`comm::Comm`] — the per-rank handle: send/recv, barrier, and
+//!   group collectives (broadcast, reduce, allreduce, allgather) over
+//!   arbitrary rank subsets — exactly what the 2D grid's row/column teams
+//!   need.
+//! * [`stats`] — byte/message/superstep counters and per-phase breakdown.
+//! * [`model`] — the α–β–γ machine cost model projecting measured volume
+//!   and supersteps onto a Piz-Daint-like interconnect.
+
+pub mod cluster;
+pub mod comm;
+pub mod model;
+pub mod stats;
+pub mod wire;
+
+pub use cluster::Cluster;
+pub use comm::Comm;
+pub use model::MachineModel;
+pub use stats::CommStats;
+pub use wire::Wire;

@@ -1,0 +1,142 @@
+//! Communication counters.
+//!
+//! Each rank accumulates bytes sent, message counts, and BSP supersteps;
+//! phases ("forward", "backward", "redistribute", …) tag byte counts so
+//! the harness can report where the volume goes. The headline quantity is
+//! [`CommStats::max_rank_bytes`]: "the maximum amount of words sent by
+//! any processor is the communication volume" (paper Section 7).
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, concurrently-updated counters (one slot per rank).
+pub(crate) struct Counters {
+    pub bytes: Vec<AtomicU64>,
+    pub messages: Vec<AtomicU64>,
+    pub supersteps: Vec<AtomicU64>,
+    pub phase_bytes: Vec<Mutex<BTreeMap<String, u64>>>,
+}
+
+impl Counters {
+    pub fn new(p: usize) -> Self {
+        Self {
+            bytes: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            messages: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            supersteps: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            phase_bytes: (0..p).map(|_| Mutex::new(BTreeMap::new())).collect(),
+        }
+    }
+
+    pub fn record_send(&self, rank: usize, bytes: usize, phase: &str) {
+        self.bytes[rank].fetch_add(bytes as u64, Ordering::Relaxed);
+        self.messages[rank].fetch_add(1, Ordering::Relaxed);
+        let mut map = self.phase_bytes[rank].lock();
+        *map.entry(phase.to_string()).or_insert(0) += bytes as u64;
+    }
+
+    pub fn record_steps(&self, rank: usize, steps: u64) {
+        self.supersteps[rank].fetch_add(steps, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> CommStats {
+        let p = self.bytes.len();
+        let per_rank_bytes: Vec<u64> = self.bytes.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let per_rank_messages: Vec<u64> =
+            self.messages.iter().map(|m| m.load(Ordering::Relaxed)).collect();
+        let per_rank_supersteps: Vec<u64> =
+            self.supersteps.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+        let mut phases: BTreeMap<String, u64> = BTreeMap::new();
+        for slot in &self.phase_bytes {
+            for (k, v) in slot.lock().iter() {
+                *phases.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+        CommStats {
+            ranks: p,
+            per_rank_bytes,
+            per_rank_messages,
+            per_rank_supersteps,
+            phase_bytes: phases,
+        }
+    }
+}
+
+/// A snapshot of the communication behaviour of one distributed run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommStats {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Bytes sent, per rank.
+    pub per_rank_bytes: Vec<u64>,
+    /// Messages sent, per rank.
+    pub per_rank_messages: Vec<u64>,
+    /// BSP supersteps charged, per rank.
+    pub per_rank_supersteps: Vec<u64>,
+    /// Total bytes sent, per phase label (summed over ranks).
+    pub phase_bytes: BTreeMap<String, u64>,
+}
+
+impl CommStats {
+    /// Total bytes sent by all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_rank_bytes.iter().sum()
+    }
+
+    /// The BSP communication volume: max bytes sent by any rank.
+    pub fn max_rank_bytes(&self) -> u64 {
+        self.per_rank_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total messages.
+    pub fn total_messages(&self) -> u64 {
+        self.per_rank_messages.iter().sum()
+    }
+
+    /// Maximum supersteps charged to any rank.
+    pub fn max_supersteps(&self) -> u64 {
+        self.per_rank_supersteps.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Bytes attributed to one phase across all ranks.
+    pub fn phase_total(&self, phase: &str) -> u64 {
+        self.phase_bytes.get(phase).copied().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for CommStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p={} total={} B max/rank={} B msgs={} steps={}",
+            self.ranks,
+            self.total_bytes(),
+            self.max_rank_bytes(),
+            self.total_messages(),
+            self.max_supersteps()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_rank() {
+        let c = Counters::new(2);
+        c.record_send(0, 100, "fwd");
+        c.record_send(0, 50, "bwd");
+        c.record_send(1, 10, "fwd");
+        c.record_steps(1, 3);
+        let s = c.snapshot();
+        assert_eq!(s.per_rank_bytes, vec![150, 10]);
+        assert_eq!(s.total_bytes(), 160);
+        assert_eq!(s.max_rank_bytes(), 150);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.max_supersteps(), 3);
+        assert_eq!(s.phase_total("fwd"), 110);
+        assert_eq!(s.phase_total("bwd"), 50);
+        assert_eq!(s.phase_total("missing"), 0);
+    }
+}

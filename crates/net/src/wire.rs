@@ -1,0 +1,75 @@
+//! Wire sizing for accounted messages.
+//!
+//! Everything that crosses the simulated network implements [`Wire`],
+//! which reports the number of bytes an MPI implementation would put on
+//! the wire for it. The accounting deliberately counts *payload* bytes
+//! only (no envelope), matching the word-counting convention of the
+//! paper's BSP analysis.
+
+/// A message payload with a known wire size.
+pub trait Wire: Send + 'static {
+    /// Bytes this payload occupies on the wire.
+    fn wire_bytes(&self) -> usize;
+}
+
+impl<T: Send + 'static> Wire for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        std::mem::size_of::<T>() * self.len()
+    }
+}
+
+macro_rules! impl_wire_fixed {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn wire_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_wire_fixed!(u8, u16, u32, u64, usize, i32, i64, f32, f64, bool);
+
+impl Wire for () {
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes() + self.3.wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_counts_payload() {
+        assert_eq!(vec![0f32; 10].wire_bytes(), 40);
+        assert_eq!(vec![0f64; 10].wire_bytes(), 80);
+        assert_eq!(Vec::<u32>::new().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn scalars_and_tuples() {
+        assert_eq!(3u64.wire_bytes(), 8);
+        assert_eq!(().wire_bytes(), 0);
+        assert_eq!((1u32, vec![0f32; 4]).wire_bytes(), 4 + 16);
+        assert_eq!((1usize, 2usize, vec![0f64; 2]).wire_bytes(), 8 + 8 + 16);
+    }
+}

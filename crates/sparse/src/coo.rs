@@ -1,0 +1,240 @@
+//! Coordinate-format sparse matrices.
+//!
+//! COO is the exchange format: graph generators emit edge lists, the
+//! artifact loads `.npz` COO files, and 2D partitioning slices COO before
+//! converting each block to CSR. Duplicate handling mirrors the artifact's
+//! Kronecker pipeline ("removing duplicate edges and ensuring that each
+//! vertex is connected to at least one other vertex").
+
+use atgnn_tensor::Scalar;
+
+/// A sparse matrix in coordinate (triplet) format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Coo<T> {
+    rows: usize,
+    cols: usize,
+    /// One `(row, col)` pair per stored entry.
+    pub entries: Vec<(u32, u32)>,
+    /// Value per stored entry, aligned with `entries`.
+    pub values: Vec<T>,
+}
+
+impl<T: Scalar> Coo<T> {
+    /// Creates an empty `rows × cols` COO matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a COO matrix from parallel triplet arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays disagree in length or any index is out of range.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        entries: Vec<(u32, u32)>,
+        values: Vec<T>,
+    ) -> Self {
+        assert_eq!(entries.len(), values.len(), "triplet arrays differ in length");
+        for &(r, c) in &entries {
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "entry ({r},{c}) out of bounds for {rows}x{cols}"
+            );
+        }
+        Self {
+            rows,
+            cols,
+            entries,
+            values,
+        }
+    }
+
+    /// An unweighted edge list (every value is one) — the adjacency matrix
+    /// `A ∈ {0,1}^{n×n}`.
+    pub fn from_edges(rows: usize, cols: usize, edges: Vec<(u32, u32)>) -> Self {
+        let values = vec![T::one(); edges.len()];
+        Self::from_triplets(rows, cols, edges, values)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (before any deduplication).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends one entry.
+    pub fn push(&mut self, r: u32, c: u32, v: T) {
+        debug_assert!((r as usize) < self.rows && (c as usize) < self.cols);
+        self.entries.push((r, c));
+        self.values.push(v);
+    }
+
+    /// Sorts entries by `(row, col)` and merges duplicates with `+`.
+    ///
+    /// Mirrors the artifact's duplicate-edge removal; for a 0/1 adjacency
+    /// matrix call [`Coo::dedup_binary`] instead to keep values at one.
+    pub fn sort_dedup_sum(&mut self) {
+        self.sort_merge(|a, b| a + b);
+    }
+
+    /// Sorts entries and collapses duplicates keeping the value `1`
+    /// (binary adjacency semantics).
+    pub fn dedup_binary(&mut self) {
+        self.sort_merge(|_, _| T::one());
+    }
+
+    fn sort_merge(&mut self, merge: impl Fn(T, T) -> T) {
+        let mut perm: Vec<usize> = (0..self.entries.len()).collect();
+        perm.sort_unstable_by_key(|&i| self.entries[i]);
+        let mut entries = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.values.len());
+        for i in perm {
+            let e = self.entries[i];
+            let v = self.values[i];
+            if entries.last() == Some(&e) {
+                let last = values.last_mut().unwrap();
+                *last = merge(*last, v);
+            } else {
+                entries.push(e);
+                values.push(v);
+            }
+        }
+        self.entries = entries;
+        self.values = values;
+    }
+
+    /// Adds the reverse of every edge (then deduplicates as binary),
+    /// producing a symmetric pattern — GNN datasets are predominantly
+    /// undirected (paper Section 5.2).
+    pub fn symmetrize_binary(&mut self) {
+        assert_eq!(self.rows, self.cols, "symmetrize requires a square matrix");
+        let extra: Vec<(u32, u32)> = self
+            .entries
+            .iter()
+            .filter(|&&(r, c)| r != c)
+            .map(|&(r, c)| (c, r))
+            .collect();
+        let n = extra.len();
+        self.entries.extend(extra);
+        self.values.extend(std::iter::repeat(T::one()).take(n));
+        self.dedup_binary();
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+            entries: self.entries.iter().map(|&(r, c)| (c, r)).collect(),
+            values: self.values.clone(),
+        }
+    }
+
+    /// The out-degree of every row.
+    pub fn row_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.rows];
+        for &(r, _) in &self.entries {
+            d[r as usize] += 1;
+        }
+        d
+    }
+
+    /// Extracts the sub-block `[r0, r1) × [c0, c1)` with indices rebased to
+    /// the block origin — the primitive behind the 2D grid partition.
+    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Self {
+        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
+        let mut out = Coo::new(r1 - r0, c1 - c0);
+        for (&(r, c), &v) in self.entries.iter().zip(&self.values) {
+            let (r, c) = (r as usize, c as usize);
+            if r >= r0 && r < r1 && c >= c0 && c < c1 {
+                out.push((r - r0) as u32, (c - c0) as u32, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut m = Coo::<f64>::new(3, 3);
+        m.push(0, 1, 1.0);
+        m.push(2, 2, 2.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn dedup_sums_duplicates() {
+        let mut m = Coo::from_triplets(2, 2, vec![(0, 1), (0, 1), (1, 0)], vec![1.0, 2.0, 3.0]);
+        m.sort_dedup_sum();
+        assert_eq!(m.entries, vec![(0, 1), (1, 0)]);
+        assert_eq!(m.values, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn dedup_binary_keeps_ones() {
+        let mut m = Coo::<f32>::from_edges(2, 2, vec![(0, 1), (0, 1), (0, 1)]);
+        m.dedup_binary();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.values, vec![1.0]);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges() {
+        let mut m = Coo::<f64>::from_edges(3, 3, vec![(0, 1), (1, 2), (2, 2)]);
+        m.symmetrize_binary();
+        assert_eq!(
+            m.entries,
+            vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 2)]
+        );
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let m = Coo::<f64>::from_edges(2, 3, vec![(0, 2), (1, 0)]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.entries, vec![(2, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn block_extraction_rebases() {
+        let m = Coo::<f64>::from_edges(4, 4, vec![(0, 0), (2, 3), (3, 2), (1, 1)]);
+        let b = m.block(2, 4, 2, 4);
+        assert_eq!(b.rows(), 2);
+        let mut e = b.entries.clone();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_triplets_checks_bounds() {
+        let _ = Coo::<f64>::from_triplets(2, 2, vec![(2, 0)], vec![1.0]);
+    }
+
+    #[test]
+    fn row_degrees_count_entries() {
+        let m = Coo::<f64>::from_edges(3, 3, vec![(0, 1), (0, 2), (2, 0)]);
+        assert_eq!(m.row_degrees(), vec![2, 0, 1]);
+    }
+}

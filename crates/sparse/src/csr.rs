@@ -1,0 +1,454 @@
+//! Compressed sparse row matrices with shared structure.
+//!
+//! In the global formulations almost every sparse intermediate — the
+//! attention scores `Ψ(A, H)`, the SDDMM gradients `D`, the softmax
+//! outputs, the VA backward terms `N` — has *exactly* the sparsity pattern
+//! of the adjacency matrix (paper Section 6.2: "the output almost always
+//! has the same sparsity pattern as the adjacency matrix"). [`Csr`] keeps
+//! the pattern (`indptr`, `indices`) behind `Arc`s so these intermediates
+//! share it at zero cost; only the value array is per-matrix.
+
+use crate::coo::Coo;
+use atgnn_tensor::{Dense, Scalar};
+use std::sync::Arc;
+
+/// A sparse matrix in CSR format with reference-counted structure.
+#[derive(Clone, Debug)]
+pub struct Csr<T> {
+    rows: usize,
+    cols: usize,
+    indptr: Arc<Vec<usize>>,
+    indices: Arc<Vec<u32>>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Builds a CSR matrix from COO (entries may be unsorted; duplicates
+    /// are summed).
+    pub fn from_coo(coo: &Coo<T>) -> Self {
+        let rows = coo.rows();
+        let cols = coo.cols();
+        // Counting sort by row.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _) in &coo.entries {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let indptr_raw = counts.clone();
+        let mut indices = vec![0u32; coo.nnz()];
+        let mut values = vec![T::zero(); coo.nnz()];
+        let mut cursor = indptr_raw.clone();
+        for (&(r, c), &v) in coo.entries.iter().zip(&coo.values) {
+            let pos = cursor[r as usize];
+            indices[pos] = c;
+            values[pos] = v;
+            cursor[r as usize] += 1;
+        }
+        // Sort each row by column and merge duplicates.
+        let mut out_indptr = vec![0usize; rows + 1];
+        let mut out_indices = Vec::with_capacity(indices.len());
+        let mut out_values = Vec::with_capacity(values.len());
+        let mut rowbuf: Vec<(u32, T)> = Vec::new();
+        for r in 0..rows {
+            rowbuf.clear();
+            for i in indptr_raw[r]..indptr_raw[r + 1] {
+                rowbuf.push((indices[i], values[i]));
+            }
+            rowbuf.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in rowbuf.iter() {
+                if out_indices.len() > out_indptr[r] && *out_indices.last().unwrap() == c {
+                    let last = out_values.last_mut().unwrap();
+                    *last += v;
+                } else {
+                    out_indices.push(c);
+                    out_values.push(v);
+                }
+            }
+            out_indptr[r + 1] = out_indices.len();
+        }
+        Self {
+            rows,
+            cols,
+            indptr: Arc::new(out_indptr),
+            indices: Arc::new(out_indices),
+            values: out_values,
+        }
+    }
+
+    /// Builds directly from raw CSR arrays (rows must be sorted by column,
+    /// no duplicates).
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent.
+    pub fn from_raw(rows: usize, cols: usize, indptr: Vec<usize>, indices: Vec<u32>, values: Vec<T>) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length must be rows+1");
+        assert_eq!(indices.len(), values.len(), "indices/values mismatch");
+        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr end mismatch");
+        for w in indptr.windows(2) {
+            assert!(w[0] <= w[1], "indptr must be non-decreasing");
+        }
+        for r in 0..rows {
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row {r} columns must be strictly increasing");
+            }
+            if let Some(&last) = row.last() {
+                assert!((last as usize) < cols, "column index out of range");
+            }
+        }
+        Self {
+            rows,
+            cols,
+            indptr: Arc::new(indptr),
+            indices: Arc::new(indices),
+            values,
+        }
+    }
+
+    /// An empty (all-zero) matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            indptr: Arc::new(vec![0; rows + 1]),
+            indices: Arc::new(Vec::new()),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n×n` identity pattern with unit values.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: Arc::new((0..=n).collect()),
+            indices: Arc::new((0..n as u32).collect()),
+            values: vec![T::one(); n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline(always)]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The row-pointer array (length `rows + 1`).
+    #[inline(always)]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// The column-index array (length `nnz`).
+    #[inline(always)]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The value array (length `nnz`).
+    #[inline(always)]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The value array, mutable.
+    #[inline(always)]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> (&[u32], &[T]) {
+        let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline(always)]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// A new matrix sharing this one's pattern with fresh values.
+    ///
+    /// This is the zero-copy path for every "same pattern as `A`"
+    /// intermediate of the formulations.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != self.nnz()`.
+    pub fn with_values(&self, values: Vec<T>) -> Self {
+        assert_eq!(values.len(), self.nnz(), "value array length mismatch");
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: Arc::clone(&self.indptr),
+            indices: Arc::clone(&self.indices),
+            values,
+        }
+    }
+
+    /// Same pattern, all values mapped through `f`.
+    pub fn map_values(&self, f: impl Fn(T) -> T) -> Self {
+        self.with_values(self.values.iter().map(|&v| f(v)).collect())
+    }
+
+    /// Whether `other` shares this matrix's pattern (cheap pointer check
+    /// first, falling back to a structural comparison).
+    pub fn same_pattern(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && (Arc::ptr_eq(&self.indices, &other.indices)
+                || (*self.indptr == *other.indptr && *self.indices == *other.indices))
+    }
+
+    /// Materialized transpose (counting sort over columns, `O(nnz)`).
+    pub fn transpose(&self) -> Self {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in self.indices.iter() {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![T::zero(); self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let pos = cursor[c as usize];
+                indices[pos] = r as u32;
+                values[pos] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+            indptr: Arc::new(indptr),
+            indices: Arc::new(indices),
+            values,
+        }
+    }
+
+    /// The out-degree (stored entries per row).
+    pub fn out_degrees(&self) -> Vec<usize> {
+        (0..self.rows).map(|i| self.row_nnz(i)).collect()
+    }
+
+    /// Maximum number of stored entries in any row — the `d` of the
+    /// communication bounds.
+    pub fn max_degree(&self) -> usize {
+        (0..self.rows).map(|i| self.row_nnz(i)).max().unwrap_or(0)
+    }
+
+    /// Value at `(i, j)` or zero — `O(log row_nnz)`.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(pos) => vals[pos],
+            Err(_) => T::zero(),
+        }
+    }
+
+    /// Converts to a dense matrix (test helper; never used on large inputs).
+    pub fn to_dense(&self) -> Dense<T> {
+        let mut d = Dense::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                d[(r, c as usize)] = v;
+            }
+        }
+        d
+    }
+
+    /// Converts back to COO triplets.
+    pub fn to_coo(&self) -> Coo<T> {
+        let mut coo = Coo::new(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(r as u32, c, v);
+            }
+        }
+        coo
+    }
+
+    /// Extracts the sub-block `[r0, r1) × [c0, c1)` rebased to the block
+    /// origin — used by the 2D grid partition of `A`.
+    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Self {
+        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
+        let mut indptr = Vec::with_capacity(r1 - r0 + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for r in r0..r1 {
+            let (cols, vals) = self.row(r);
+            let lo = cols.partition_point(|&c| (c as usize) < c0);
+            let hi = cols.partition_point(|&c| (c as usize) < c1);
+            for (&c, &v) in cols[lo..hi].iter().zip(&vals[lo..hi]) {
+                indices.push(c - c0 as u32);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        Self {
+            rows: r1 - r0,
+            cols: c1 - c0,
+            indptr: Arc::new(indptr),
+            indices: Arc::new(indices),
+            values,
+        }
+    }
+
+    /// Whether the matrix equals its transpose (pattern and values).
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let t = self.transpose();
+        if !self.same_pattern(&t) {
+            return false;
+        }
+        self.values
+            .iter()
+            .zip(t.values.iter())
+            .all(|(&a, &b)| a == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<f64> {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        let coo = Coo::from_triplets(
+            3,
+            3,
+            vec![(0, 0), (0, 2), (2, 0), (2, 1)],
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_coo_sorted_rows() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.indptr(), &[0, 2, 2, 4]);
+        assert_eq!(m.row(0).0, &[0, 2]);
+        assert_eq!(m.row(2).1, &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let coo = Coo::from_triplets(1, 2, vec![(0, 1), (0, 1)], vec![1.0, 2.5]);
+        let m = Csr::from_coo(&coo);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.values(), &[3.5]);
+    }
+
+    #[test]
+    fn from_coo_handles_unsorted_input() {
+        let coo = Coo::from_triplets(2, 3, vec![(1, 2), (0, 1), (1, 0)], vec![1.0, 2.0, 3.0]);
+        let m = Csr::from_coo(&coo);
+        assert_eq!(m.row(1).0, &[0, 2]);
+        assert_eq!(m.row(1).1, &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing() {
+        let m = sample();
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert!(m.same_pattern(&tt));
+        assert_eq!(m.values(), tt.values());
+        assert_eq!(m.transpose().get(0, 2), 3.0);
+    }
+
+    #[test]
+    fn with_values_shares_structure() {
+        let m = sample();
+        let w = m.with_values(vec![9.0; 4]);
+        assert!(m.same_pattern(&w));
+        assert_eq!(w.get(2, 1), 9.0);
+    }
+
+    #[test]
+    fn identity_and_empty() {
+        let id = Csr::<f32>::identity(3);
+        assert_eq!(id.get(1, 1), 1.0);
+        assert_eq!(id.get(1, 2), 0.0);
+        let e = Csr::<f32>::empty(2, 5);
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.rows(), 2);
+    }
+
+    #[test]
+    fn block_extraction() {
+        let m = sample();
+        let b = m.block(1, 3, 0, 2);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.cols(), 2);
+        assert_eq!(b.get(1, 0), 3.0);
+        assert_eq!(b.get(1, 1), 4.0);
+        assert_eq!(b.nnz(), 2);
+    }
+
+    #[test]
+    fn to_dense_round_trip() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d[(2, 1)], 4.0);
+        let back = Csr::from_coo(&m.to_coo());
+        assert!(m.same_pattern(&back));
+        assert_eq!(m.values(), back.values());
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let mut coo = Coo::<f64>::from_edges(2, 2, vec![(0, 1)]);
+        assert!(!Csr::from_coo(&coo).is_symmetric());
+        coo.symmetrize_binary();
+        assert!(Csr::from_coo(&coo).is_symmetric());
+    }
+
+    #[test]
+    fn degrees() {
+        let m = sample();
+        assert_eq!(m.out_degrees(), vec![2, 0, 2]);
+        assert_eq!(m.max_degree(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_raw_rejects_duplicates() {
+        let _ = Csr::<f64>::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
+    }
+}

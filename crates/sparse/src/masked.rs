@@ -1,0 +1,332 @@
+//! Operations on values aligned to a sparse pattern.
+//!
+//! These cover the element-wise pieces of the global formulations that act
+//! on `A`-patterned intermediates: the Hadamard product `⊙` and division
+//! `⊘`, the graph softmax `sm(·)` of Section 4.2 (and its backward pass),
+//! row/column sums (the `sum`/`sumᵀ` building blocks restricted to sparse
+//! operands), diagonal scalings, and the `X + Xᵀ` pattern-union addition
+//! of Table 2.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use atgnn_tensor::Scalar;
+
+/// `a ⊙ b` for two matrices sharing one pattern.
+///
+/// # Panics
+/// Panics if the patterns differ.
+pub fn hadamard<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    assert!(a.same_pattern(b), "hadamard: pattern mismatch");
+    a.with_values(
+        a.values()
+            .iter()
+            .zip(b.values())
+            .map(|(&x, &y)| x * y)
+            .collect(),
+    )
+}
+
+/// `a ⊘ b` for two matrices sharing one pattern.
+pub fn hadamard_div<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    assert!(a.same_pattern(b), "hadamard_div: pattern mismatch");
+    a.with_values(
+        a.values()
+            .iter()
+            .zip(b.values())
+            .map(|(&x, &y)| x / y)
+            .collect(),
+    )
+}
+
+/// `a + b` for two matrices sharing one pattern.
+pub fn add_same_pattern<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    assert!(a.same_pattern(b), "add: pattern mismatch");
+    a.with_values(
+        a.values()
+            .iter()
+            .zip(b.values())
+            .map(|(&x, &y)| x + y)
+            .collect(),
+    )
+}
+
+/// General sparse addition `a + b` (pattern union) — the `X₊ = X + Xᵀ`
+/// building block uses this with `b = a.transpose()`.
+pub fn add_general<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    assert_eq!(a.rows(), b.rows(), "add: row mismatch");
+    assert_eq!(a.cols(), b.cols(), "add: col mismatch");
+    let mut coo = Coo::new(a.rows(), a.cols());
+    for m in [a, b] {
+        for r in 0..m.rows() {
+            let (cols, vals) = m.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(r as u32, c, v);
+            }
+        }
+    }
+    Csr::from_coo(&coo)
+}
+
+/// `X₊ = X + Xᵀ` (Table 2).
+pub fn add_transpose<T: Scalar>(x: &Csr<T>) -> Csr<T> {
+    add_general(x, &x.transpose())
+}
+
+/// `sum(X) = X 1`: the sum of stored values in each row.
+pub fn row_sums<T: Scalar>(x: &Csr<T>) -> Vec<T> {
+    (0..x.rows())
+        .map(|r| x.row(r).1.iter().copied().fold(T::zero(), |s, v| s + v))
+        .collect()
+}
+
+/// `sumᵀ(X) = Xᵀ 1`: the sum of stored values in each column.
+pub fn col_sums<T: Scalar>(x: &Csr<T>) -> Vec<T> {
+    let mut out = vec![T::zero(); x.cols()];
+    for r in 0..x.rows() {
+        let (cols, vals) = x.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            out[c as usize] += v;
+        }
+    }
+    out
+}
+
+/// Per-row dot product of two same-pattern matrices:
+/// `r_i = Σ_j a_ij b_ij` — the reduction inside the softmax backward pass.
+pub fn row_dots<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Vec<T> {
+    assert!(a.same_pattern(b), "row_dots: pattern mismatch");
+    let av = a.values();
+    let bv = b.values();
+    (0..a.rows())
+        .map(|r| {
+            let (lo, hi) = (a.indptr()[r], a.indptr()[r + 1]);
+            av[lo..hi]
+                .iter()
+                .zip(&bv[lo..hi])
+                .map(|(&x, &y)| x * y)
+                .fold(T::zero(), |s, v| s + v)
+        })
+        .collect()
+}
+
+/// Scales row `i` by `s[i]` (`diag(s) · X`).
+pub fn scale_rows<T: Scalar>(x: &Csr<T>, s: &[T]) -> Csr<T> {
+    assert_eq!(x.rows(), s.len(), "scale_rows: length mismatch");
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let (lo, hi) = (out.indptr()[r], out.indptr()[r + 1]);
+        let si = s[r];
+        for v in &mut out.values_mut()[lo..hi] {
+            *v *= si;
+        }
+    }
+    out
+}
+
+/// Scales column `j` by `s[j]` (`X · diag(s)`).
+pub fn scale_cols<T: Scalar>(x: &Csr<T>, s: &[T]) -> Csr<T> {
+    assert_eq!(x.cols(), s.len(), "scale_cols: length mismatch");
+    let indices = x.indices().to_vec();
+    let mut out = x.clone();
+    for (v, &c) in out.values_mut().iter_mut().zip(&indices) {
+        *v *= s[c as usize];
+    }
+    out
+}
+
+/// The graph softmax `sm(X) = exp(X) ⊘ rs_n(exp(X))` of Section 4.2,
+/// applied over each vertex neighborhood (each stored row), with the usual
+/// row-max shift for numerical stability. Rows without stored entries are
+/// left empty. The `n×n` replication `rs_n` is *virtual*: only the row-sum
+/// vector exists.
+pub fn row_softmax<T: Scalar>(x: &Csr<T>) -> Csr<T> {
+    let mut out = x.clone();
+    row_softmax_inplace(&mut out);
+    out
+}
+
+/// In-place variant of [`row_softmax`].
+pub fn row_softmax_inplace<T: Scalar>(x: &mut Csr<T>) {
+    let indptr = x.indptr().to_vec();
+    let values = x.values_mut();
+    for r in 0..indptr.len() - 1 {
+        let row = &mut values[indptr[r]..indptr[r + 1]];
+        if row.is_empty() {
+            continue;
+        }
+        let m = row
+            .iter()
+            .copied()
+            .fold(T::neg_infinity(), |a, b| Scalar::max(a, b));
+        let mut total = T::zero();
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            total += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= total;
+        }
+    }
+}
+
+/// Backward pass of the graph softmax: given `Ψ = sm(E)` and the upstream
+/// gradient `D = ∂L/∂Ψ` (same pattern), returns
+/// `∂L/∂E = Ψ ⊙ (D − rep(rowsum(Ψ ⊙ D)))` — the replicated row-dot vector
+/// is virtual, applied per entry.
+pub fn row_softmax_backward<T: Scalar>(psi: &Csr<T>, d: &Csr<T>) -> Csr<T> {
+    assert!(psi.same_pattern(d), "softmax backward: pattern mismatch");
+    let r = row_dots(psi, d);
+    let mut out = psi.clone();
+    let indptr = out.indptr().to_vec();
+    let dv = d.values();
+    let values = out.values_mut();
+    for row in 0..indptr.len() - 1 {
+        let ri = r[row];
+        for idx in indptr[row]..indptr[row + 1] {
+            values[idx] *= dv[idx] - ri;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atgnn_tensor::{blocks, Dense};
+
+    fn pat() -> Csr<f64> {
+        let coo = Coo::from_triplets(
+            3,
+            3,
+            vec![(0, 0), (0, 2), (1, 1), (2, 0), (2, 2)],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        );
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn hadamard_and_division_roundtrip() {
+        let a = pat();
+        let b = a.map_values(|v| v + 1.0);
+        let h = hadamard(&a, &b);
+        assert_eq!(h.get(0, 2), 6.0);
+        let d = hadamard_div(&h, &b);
+        assert!(d.to_dense().max_abs_diff(&a.to_dense()) < 1e-12);
+    }
+
+    #[test]
+    fn add_same_pattern_adds() {
+        let a = pat();
+        let s = add_same_pattern(&a, &a);
+        assert_eq!(s.get(2, 2), 10.0);
+    }
+
+    #[test]
+    fn add_general_unions_patterns() {
+        let a = Csr::from_coo(&Coo::from_triplets(2, 2, vec![(0, 1)], vec![1.0]));
+        let b = Csr::from_coo(&Coo::from_triplets(2, 2, vec![(1, 0), (0, 1)], vec![2.0, 3.0]));
+        let s = add_general(&a, &b);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.get(0, 1), 4.0);
+        assert_eq!(s.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn add_transpose_matches_dense() {
+        let a = pat();
+        let want = atgnn_tensor::ops::add(&a.to_dense(), &a.to_dense().transpose());
+        assert!(add_transpose(&a).to_dense().max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn sums_and_dots() {
+        let a = pat();
+        assert_eq!(row_sums(&a), vec![3.0, 3.0, 9.0]);
+        assert_eq!(col_sums(&a), vec![5.0, 3.0, 7.0]);
+        let d = row_dots(&a, &a);
+        assert_eq!(d, vec![5.0, 9.0, 41.0]);
+    }
+
+    #[test]
+    fn diagonal_scalings() {
+        let a = pat();
+        let r = scale_rows(&a, &[1.0, 0.0, 2.0]);
+        assert_eq!(r.get(1, 1), 0.0);
+        assert_eq!(r.get(2, 0), 8.0);
+        let c = scale_cols(&a, &[0.5, 1.0, 0.0]);
+        assert_eq!(c.get(0, 0), 0.5);
+        assert_eq!(c.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_on_pattern() {
+        let a = pat();
+        let s = row_softmax(&a);
+        let sums = row_sums(&s);
+        for total in sums {
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+        // Entries stay on the pattern.
+        assert!(s.same_pattern(&a));
+    }
+
+    #[test]
+    fn sparse_softmax_matches_dense_softmax_on_full_rows() {
+        // On a fully dense pattern the sparse graph softmax must equal the
+        // dense row softmax.
+        let n = 4;
+        let dense_vals = Dense::from_fn(n, n, |i, j| ((i * n + j) % 5) as f64 - 2.0);
+        let coo = Coo::from_triplets(
+            n,
+            n,
+            (0..n as u32)
+                .flat_map(|i| (0..n as u32).map(move |j| (i, j)))
+                .collect(),
+            dense_vals.as_slice().to_vec(),
+        );
+        let sp = Csr::from_coo(&coo);
+        let want = blocks::softmax_rows(&dense_vals);
+        assert!(row_softmax(&sp).to_dense().max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn softmax_stability_with_huge_scores() {
+        let coo = Coo::from_triplets(1, 2, vec![(0, 0), (0, 1)], vec![1000.0f32, 998.0]);
+        let s = row_softmax(&Csr::from_coo(&coo));
+        assert!(s.values().iter().all(|v| v.is_finite()));
+        assert!((row_sums(&s)[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        // d/dE of L = Σ c_ij sm(E)_ij checked against finite differences.
+        let e0 = pat();
+        let c = e0.map_values(|v| (v * 0.7).tanh());
+        let loss = |e: &Csr<f64>| -> f64 {
+            row_dots(&row_softmax(e), &c).iter().sum::<f64>()
+        };
+        let psi = row_softmax(&e0);
+        let analytic = row_softmax_backward(&psi, &c);
+        let eps = 1e-6;
+        for idx in 0..e0.nnz() {
+            let mut plus = e0.clone();
+            plus.values_mut()[idx] += eps;
+            let mut minus = e0.clone();
+            minus.values_mut()[idx] -= eps;
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!(
+                (fd - analytic.values()[idx]).abs() < 1e-6,
+                "entry {idx}: fd={fd} analytic={}",
+                analytic.values()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_rows_survive_softmax() {
+        let coo = Coo::from_triplets(3, 3, vec![(0, 0)], vec![2.0]);
+        let s = row_softmax(&Csr::<f64>::from_coo(&coo));
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.get(0, 0), 1.0);
+    }
+}

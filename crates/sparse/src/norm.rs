@@ -1,0 +1,142 @@
+//! Adjacency-matrix preprocessing.
+//!
+//! The paper folds any normalization into the symbol `A` ("we use a symbol
+//! A to also denote the adjacency matrix after any form of normalization",
+//! Section 2.1). This module provides the standard choices:
+//!
+//! * [`add_self_loops`] — `Â = A ∪ I`, giving each vertex the
+//!   `N̂(v) = N(v) ∪ {v}` neighborhood the local formulations use.
+//! * [`sym_normalize`] — the GCN normalization
+//!   `D^{-1/2} A D^{-1/2}` (so `a_vu = 1/sqrt(d_v d_u)`).
+//! * [`row_normalize`] — the random-walk normalization `D^{-1} A`.
+//! * [`to_aggregation_weights`] — rewrites stored values for the tropical
+//!   semirings (Section 4.3: off-pattern zeros become the implicit
+//!   semiring zero; stored entries carry weight `0` so `min/max` act on
+//!   the features alone).
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::masked::{row_sums, scale_cols, scale_rows};
+use atgnn_tensor::Scalar;
+
+/// `Â = A ∪ I` with unit values on the new diagonal entries.
+pub fn add_self_loops<T: Scalar>(a: &Csr<T>) -> Csr<T> {
+    assert_eq!(a.rows(), a.cols(), "self loops require a square matrix");
+    let mut coo = Coo::new(a.rows(), a.cols());
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row(r);
+        let mut has_diag = false;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c as usize == r {
+                has_diag = true;
+            }
+            coo.push(r as u32, c, v);
+        }
+        if !has_diag {
+            coo.push(r as u32, r as u32, T::one());
+        }
+    }
+    Csr::from_coo(&coo)
+}
+
+/// `D^{-1/2} A D^{-1/2}` where `D` is the diagonal of row sums.
+/// Zero-degree vertices keep zero rows (no division by zero).
+pub fn sym_normalize<T: Scalar>(a: &Csr<T>) -> Csr<T> {
+    let d = row_sums(a);
+    let inv_sqrt: Vec<T> = d
+        .iter()
+        .map(|&x| {
+            if x == T::zero() {
+                T::zero()
+            } else {
+                T::one() / x.sqrt()
+            }
+        })
+        .collect();
+    scale_cols(&scale_rows(a, &inv_sqrt), &inv_sqrt)
+}
+
+/// `D^{-1} A` — each row sums to one (or stays zero).
+pub fn row_normalize<T: Scalar>(a: &Csr<T>) -> Csr<T> {
+    let d = row_sums(a);
+    let inv: Vec<T> = d
+        .iter()
+        .map(|&x| {
+            if x == T::zero() {
+                T::zero()
+            } else {
+                T::one() / x
+            }
+        })
+        .collect();
+    scale_rows(a, &inv)
+}
+
+/// Sets every stored value to `w` — with `w = 0` this prepares `A` for the
+/// tropical min/max aggregations of Section 4.3.
+pub fn to_aggregation_weights<T: Scalar>(a: &Csr<T>, w: T) -> Csr<T> {
+    a.map_values(|_| w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn ring(n: usize) -> Csr<f64> {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let mut coo = Coo::from_edges(n, n, edges);
+        coo.symmetrize_binary();
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn self_loops_add_missing_diagonal() {
+        let a = ring(4);
+        let hat = add_self_loops(&a);
+        assert_eq!(hat.nnz(), a.nnz() + 4);
+        for i in 0..4 {
+            assert_eq!(hat.get(i, i), 1.0);
+        }
+        // Idempotent on the pattern.
+        let twice = add_self_loops(&hat);
+        assert_eq!(twice.nnz(), hat.nnz());
+    }
+
+    #[test]
+    fn sym_normalize_matches_formula() {
+        let a = add_self_loops(&ring(4));
+        let s = sym_normalize(&a);
+        // Every vertex in the self-looped ring has degree 3.
+        assert!((s.get(0, 1) - 1.0 / 3.0).abs() < 1e-12);
+        // Symmetric input stays symmetric.
+        assert!(s.is_symmetric());
+    }
+
+    #[test]
+    fn row_normalize_rows_sum_to_one() {
+        let a = ring(5);
+        let r = row_normalize(&a);
+        for total in row_sums(&r) {
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_degree_rows_stay_zero() {
+        let coo = Coo::from_edges(3, 3, vec![(0, 1)]);
+        let a: Csr<f64> = Csr::from_coo(&coo);
+        let s = sym_normalize(&a);
+        assert_eq!(row_sums(&s)[2], 0.0);
+        let r = row_normalize(&a);
+        assert_eq!(row_sums(&r)[1], 0.0);
+    }
+
+    #[test]
+    fn aggregation_weights_rewrite_values() {
+        let a = ring(3);
+        let w = to_aggregation_weights(&a, 0.0);
+        assert!(w.values().iter().all(|&v| v == 0.0));
+        assert!(w.same_pattern(&a));
+    }
+}

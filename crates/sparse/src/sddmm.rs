@@ -1,0 +1,166 @@
+//! Sampled dense-dense matrix products (`SDDMM`, paper Table 2).
+//!
+//! `SDDMM` computes `A ⊙ (X Yᵀ)`: the dense product `X Yᵀ` would be an
+//! `n×n` *virtual* matrix (paper Section 6.1) — it is never materialized.
+//! Instead the kernel iterates the non-zeros of the sparse sampler `A` and
+//! evaluates only the sampled dot products, producing values aligned to
+//! `A`'s pattern.
+
+use crate::csr::Csr;
+use atgnn_tensor::{gemm, Dense, Scalar};
+use rayon::prelude::*;
+
+/// Stored entries below which the row loop stays sequential.
+const PAR_THRESHOLD: usize = 4 * 1024;
+
+/// `out = A ⊙ (X Yᵀ)`: for every stored `(i, j)` of `A`,
+/// `out_ij = a_ij · ⟨x_i, y_j⟩`. The result shares `A`'s pattern.
+///
+/// # Panics
+/// Panics if shapes disagree (`A: n×m`, `X: n×k`, `Y: m×k`).
+pub fn sddmm<T: Scalar>(a: &Csr<T>, x: &Dense<T>, y: &Dense<T>) -> Csr<T> {
+    sddmm_with(a, x, y, |av, dot| av * dot)
+}
+
+/// SDDMM variant that skips the multiplication with `A`'s values —
+/// `out_ij = ⟨x_i, y_j⟩` on `A`'s pattern. Used when `A` is a 0/1 mask so
+/// the multiply is a no-op.
+pub fn sddmm_pattern<T: Scalar>(a: &Csr<T>, x: &Dense<T>, y: &Dense<T>) -> Csr<T> {
+    sddmm_with(a, x, y, |_, dot| dot)
+}
+
+/// General SDDMM with a custom per-entry epilogue:
+/// `out_ij = f(a_ij, ⟨x_i, y_j⟩)`.
+///
+/// The epilogue hook is what the fusing optimization of Section 6.2 builds
+/// on: any element-wise chain following the sampled product folds into `f`
+/// instead of materializing intermediates.
+pub fn sddmm_with<T: Scalar>(
+    a: &Csr<T>,
+    x: &Dense<T>,
+    y: &Dense<T>,
+    f: impl Fn(T, T) -> T + Sync,
+) -> Csr<T> {
+    assert_eq!(a.rows(), x.rows(), "sddmm: A rows must match X rows");
+    assert_eq!(a.cols(), y.rows(), "sddmm: A cols must match Y rows");
+    assert_eq!(x.cols(), y.cols(), "sddmm: X and Y feature dims differ");
+    let mut values = vec![T::zero(); a.nnz()];
+    let indptr = a.indptr();
+    let indices = a.indices();
+    let avals = a.values();
+    let kernel = |r: usize, out: &mut [T]| {
+        let xrow = x.row(r);
+        let lo = indptr[r];
+        let hi = lo + out.len();
+        for (slot, (&c, &av)) in out
+            .iter_mut()
+            .zip(indices[lo..hi].iter().zip(&avals[lo..hi]))
+        {
+            let yrow = y.row(c as usize);
+            *slot = f(av, gemm::dot(xrow, yrow));
+        }
+    };
+    if a.nnz() >= PAR_THRESHOLD {
+        // Partition the value array by rows using the indptr offsets.
+        let mut slices: Vec<(usize, &mut [T])> = Vec::with_capacity(a.rows());
+        let mut rest: &mut [T] = &mut values;
+        for r in 0..a.rows() {
+            let len = indptr[r + 1] - indptr[r];
+            let (head, tail) = rest.split_at_mut(len);
+            slices.push((r, head));
+            rest = tail;
+        }
+        slices.into_par_iter().for_each(|(r, s)| kernel(r, s));
+    } else {
+        for r in 0..a.rows() {
+            kernel(r, &mut values[indptr[r]..indptr[r + 1]]);
+        }
+    }
+    a.with_values(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use atgnn_tensor::ops;
+
+    fn mask() -> Csr<f64> {
+        let coo = Coo::from_edges(3, 3, vec![(0, 1), (1, 0), (1, 2), (2, 2)]);
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn sddmm_matches_dense_reference() {
+        let a = mask();
+        let x = Dense::from_fn(3, 2, |i, j| (i + j) as f64);
+        let y = Dense::from_fn(3, 2, |i, j| (2 * i + j) as f64 - 1.0);
+        let dense = ops::hadamard(&a.to_dense(), &gemm::matmul_nt(&x, &y));
+        let got = sddmm(&a, &x, &y);
+        assert!(got.same_pattern(&a));
+        assert!(got.to_dense().max_abs_diff(&dense) < 1e-12);
+    }
+
+    #[test]
+    fn sddmm_scales_by_a_values() {
+        let a = mask().map_values(|_| 2.0);
+        let x = Dense::ones(3, 1);
+        let y = Dense::ones(3, 1);
+        let got = sddmm(&a, &x, &y);
+        assert!(got.values().iter().all(|&v| v == 2.0));
+        let pat = sddmm_pattern(&a, &x, &y);
+        assert!(pat.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn sddmm_with_epilogue_fuses_nonlinearity() {
+        let a = mask();
+        let x = Dense::from_fn(3, 2, |i, _| i as f64 - 1.0);
+        let y = Dense::ones(3, 2);
+        let relu = sddmm_with(&a, &x, &y, |av, dot| av * dot.max(0.0));
+        for &v in relu.values() {
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sddmm_parallel_path_matches_serial() {
+        let n = 400u32;
+        let coo = Coo::from_edges(
+            n as usize,
+            n as usize,
+            (0..n)
+                .flat_map(|i| (0..20u32).map(move |d| (i, (i + d * 13 + 1) % n)))
+                .collect::<Vec<_>>(),
+        );
+        let mut coo = coo;
+        coo.dedup_binary();
+        let a: Csr<f64> = Csr::from_coo(&coo);
+        assert!(a.nnz() >= PAR_THRESHOLD);
+        let x = Dense::from_fn(n as usize, 8, |i, j| ((i * 3 + j) % 7) as f64 - 3.0);
+        let y = Dense::from_fn(n as usize, 8, |i, j| ((i + 5 * j) % 11) as f64 - 5.0);
+        let got = sddmm(&a, &x, &y);
+        let dense = ops::hadamard(&a.to_dense(), &gemm::matmul_nt(&x, &y));
+        assert!(got.to_dense().max_abs_diff(&dense) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "A rows must match")]
+    fn sddmm_checks_shapes() {
+        let a = mask();
+        let x = Dense::<f64>::zeros(2, 2);
+        let y = Dense::<f64>::zeros(3, 2);
+        let _ = sddmm(&a, &x, &y);
+    }
+
+    #[test]
+    fn rectangular_sampler() {
+        let coo = Coo::from_edges(2, 4, vec![(0, 3), (1, 0)]);
+        let a: Csr<f64> = Csr::from_coo(&coo);
+        let x = Dense::from_fn(2, 3, |i, j| (i + j) as f64);
+        let y = Dense::from_fn(4, 3, |i, j| (i * j) as f64 + 1.0);
+        let got = sddmm(&a, &x, &y);
+        let dense = ops::hadamard(&a.to_dense(), &gemm::matmul_nt(&x, &y));
+        assert!(got.to_dense().max_abs_diff(&dense) < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Element-wise non-linearities `σ` and their derivatives `σ'`.
+//!
+//! The paper decouples `σ` from the update function `Φ` (Section 4) so that
+//! `Φ` can be applied before the aggregation `⊕`; this module provides the
+//! decoupled `σ` as a small enum that every layer stores. The backward
+//! recursion `G^{l-1} = σ'(Z^{l-1}) ⊙ Γ^l` (Eq. 6) needs the derivative
+//! evaluated at the *pre-activation* `Z`, which [`Activation::derivative`]
+//! computes.
+
+use crate::dense::Dense;
+use crate::ops;
+use crate::scalar::Scalar;
+
+/// An element-wise non-linearity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Activation {
+    /// `σ(x) = x` — used for the last layer before a loss with built-in
+    /// non-linearity (e.g. softmax cross-entropy).
+    Identity,
+    /// Rectified linear unit, the paper's default for C-GNN examples.
+    Relu,
+    /// Leaky ReLU with the given negative slope; GAT scores use slope 0.2.
+    LeakyRelu(f64),
+    /// Exponential linear unit, GAT's feature non-linearity.
+    Elu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Evaluates `σ(x)` for a single element.
+    #[inline]
+    pub fn eval<T: Scalar>(self, x: T) -> T {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => Scalar::max(x, T::zero()),
+            Activation::LeakyRelu(slope) => {
+                if x >= T::zero() {
+                    x
+                } else {
+                    T::from_f64(slope) * x
+                }
+            }
+            Activation::Elu => {
+                if x >= T::zero() {
+                    x
+                } else {
+                    x.exp() - T::one()
+                }
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => T::one() / (T::one() + (-x).exp()),
+        }
+    }
+
+    /// Evaluates `σ'(x)` for a single element (derivative at the
+    /// pre-activation value).
+    #[inline]
+    pub fn grad<T: Scalar>(self, x: T) -> T {
+        match self {
+            Activation::Identity => T::one(),
+            Activation::Relu => {
+                if x > T::zero() {
+                    T::one()
+                } else {
+                    T::zero()
+                }
+            }
+            Activation::LeakyRelu(slope) => {
+                if x >= T::zero() {
+                    T::one()
+                } else {
+                    T::from_f64(slope)
+                }
+            }
+            Activation::Elu => {
+                if x >= T::zero() {
+                    T::one()
+                } else {
+                    x.exp()
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                T::one() - t * t
+            }
+            Activation::Sigmoid => {
+                let s = T::one() / (T::one() + (-x).exp());
+                s * (T::one() - s)
+            }
+        }
+    }
+
+    /// `σ(Z)` applied to a whole matrix.
+    pub fn apply<T: Scalar>(self, z: &Dense<T>) -> Dense<T> {
+        ops::map(z, |v| self.eval(v))
+    }
+
+    /// `σ'(Z)` applied to a whole matrix.
+    pub fn derivative<T: Scalar>(self, z: &Dense<T>) -> Dense<T> {
+        ops::map(z, |v| self.grad(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACTS: [Activation; 6] = [
+        Activation::Identity,
+        Activation::Relu,
+        Activation::LeakyRelu(0.2),
+        Activation::Elu,
+        Activation::Tanh,
+        Activation::Sigmoid,
+    ];
+
+    #[test]
+    fn values_at_zero_and_one() {
+        assert_eq!(Activation::Relu.eval(-2.0f64), 0.0);
+        assert_eq!(Activation::Relu.eval(3.0f64), 3.0);
+        assert!((Activation::LeakyRelu(0.2).eval(-1.0f64) + 0.2).abs() < 1e-15);
+        assert!((Activation::Sigmoid.eval(0.0f64) - 0.5).abs() < 1e-15);
+        assert!((Activation::Elu.eval(-1.0f64) - ((-1.0f64).exp() - 1.0)).abs() < 1e-15);
+        assert_eq!(Activation::Identity.eval(7.5f64), 7.5);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let eps = 1e-6;
+        // Avoid the ReLU kink at 0.
+        for &x in &[-1.3f64, -0.4, 0.7, 2.1] {
+            for act in ACTS {
+                let fd = (act.eval(x + eps) - act.eval(x - eps)) / (2.0 * eps);
+                let an = act.grad(x);
+                assert!(
+                    (fd - an).abs() < 1e-6,
+                    "{act:?} at {x}: fd={fd} analytic={an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_apply_is_elementwise() {
+        let z = Dense::from_vec(1, 3, vec![-1.0f64, 0.0, 2.0]);
+        let out = Activation::Relu.apply(&z);
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 2.0]);
+        let d = Activation::Relu.derivative(&z);
+        assert_eq!(d.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn all_activations_finite_on_range() {
+        for act in ACTS {
+            for i in -50..=50 {
+                let x = i as f64 / 5.0;
+                assert!(act.eval(x).is_finite());
+                assert!(act.grad(x).is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The tensor-algebra building blocks of the paper's Table 2.
+//!
+//! The paper expresses every part of a GNN with tensor kernels so that
+//! established libraries can be plugged in. These are the dense blocks:
+//!
+//! * [`rep`] — replication `rep_i(x) = x 1ᵀ` (a column vector replicated
+//!   `i` times column-wise).
+//! * [`rep_t`] — the transposed replication `(rep_i(x))ᵀ = 1 xᵀ`.
+//! * [`row_sums`] — summation `sum(X) = X 1` (the sum of each row).
+//! * [`col_sums`] — `sumᵀ(X) = Xᵀ 1`.
+//! * [`rs`] — the composition `rs_i(X) = rep_i(sum(X))`, i.e. a
+//!   multiplication by a matrix of ones.
+//! * [`outer`] — the outer product `x yᵀ` used by AGNN's `n nᵀ`
+//!   normalization and GAT's `du a₁ᵀ` gradient terms.
+//! * [`row_l2_norms`] — the vector `n` with `n_i = ‖h_i‖₂`.
+//! * [`softmax_rows`] — numerically stable dense softmax over rows,
+//!   matching the sparse graph softmax of Section 4.2 on a dense matrix.
+//!
+//! In the optimized implementation many of these never materialize (they
+//! are *virtual*, Section 6.1) — the explicit versions here serve as the
+//! readable reference and are what the fused kernels are tested against.
+
+use crate::dense::Dense;
+use crate::scalar::Scalar;
+
+/// `rep_i(x) = x 1ᵀ`: replicates the column vector `x` into `i` columns.
+pub fn rep<T: Scalar>(x: &[T], i: usize) -> Dense<T> {
+    Dense::from_fn(x.len(), i, |r, _| x[r])
+}
+
+/// `(rep_i(x))ᵀ = 1 xᵀ`: replicates the vector `x` into `i` rows.
+pub fn rep_t<T: Scalar>(x: &[T], i: usize) -> Dense<T> {
+    Dense::from_fn(i, x.len(), |_, c| x[c])
+}
+
+/// `sum(X) = X 1`: the sum of each row, as a vector of length `rows`.
+pub fn row_sums<T: Scalar>(x: &Dense<T>) -> Vec<T> {
+    (0..x.rows())
+        .map(|i| x.row(i).iter().copied().fold(T::zero(), |s, v| s + v))
+        .collect()
+}
+
+/// `sumᵀ(X) = Xᵀ 1`: the sum of each column, as a vector of length `cols`.
+pub fn col_sums<T: Scalar>(x: &Dense<T>) -> Vec<T> {
+    let mut out = vec![T::zero(); x.cols()];
+    for i in 0..x.rows() {
+        for (o, &v) in out.iter_mut().zip(x.row(i)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// `rs_i(X) = rep_i(sum(X))` — equivalent to multiplying by an all-ones
+/// matrix with `i` columns.
+pub fn rs<T: Scalar>(x: &Dense<T>, i: usize) -> Dense<T> {
+    rep(&row_sums(x), i)
+}
+
+/// Outer product `x yᵀ`.
+pub fn outer<T: Scalar>(x: &[T], y: &[T]) -> Dense<T> {
+    Dense::from_fn(x.len(), y.len(), |r, c| x[r] * y[c])
+}
+
+/// The L2 norm of every row: `n_i = ‖h_i‖₂` (AGNN's normalization vector).
+pub fn row_l2_norms<T: Scalar>(h: &Dense<T>) -> Vec<T> {
+    (0..h.rows())
+        .map(|i| {
+            h.row(i)
+                .iter()
+                .map(|&v| v * v)
+                .fold(T::zero(), |s, v| s + v)
+                .sqrt()
+        })
+        .collect()
+}
+
+/// Numerically stable softmax over each row:
+/// `sm(X) = exp(X) ⊘ rs_n(exp(X))`, computed with the usual row-max shift.
+pub fn softmax_rows<T: Scalar>(x: &Dense<T>) -> Dense<T> {
+    let mut out = x.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// In-place variant of [`softmax_rows`].
+pub fn softmax_rows_inplace<T: Scalar>(x: &mut Dense<T>) {
+    let cols = x.cols();
+    if cols == 0 {
+        return;
+    }
+    for i in 0..x.rows() {
+        let row = x.row_mut(i);
+        let m = row
+            .iter()
+            .copied()
+            .fold(T::neg_infinity(), |a, b| Scalar::max(a, b));
+        let mut total = T::zero();
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            total += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= total;
+        }
+    }
+}
+
+/// Scales each row `i` of `x` by `s[i]` in place (diagonal scaling `D X`).
+pub fn scale_rows_inplace<T: Scalar>(x: &mut Dense<T>, s: &[T]) {
+    assert_eq!(x.rows(), s.len(), "scale_rows: length mismatch");
+    for (i, &si) in s.iter().enumerate() {
+        for v in x.row_mut(i) {
+            *v *= si;
+        }
+    }
+}
+
+/// Scales each column `j` of `x` by `s[j]` in place (diagonal scaling `X D`).
+pub fn scale_cols_inplace<T: Scalar>(x: &mut Dense<T>, s: &[T]) {
+    assert_eq!(x.cols(), s.len(), "scale_cols: length mismatch");
+    for i in 0..x.rows() {
+        for (v, &sj) in x.row_mut(i).iter_mut().zip(s) {
+            *v *= sj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    #[test]
+    fn rep_is_x_times_ones_row() {
+        let x = vec![1.0f64, 2.0, 3.0];
+        let explicit = matmul(
+            &Dense::from_vec(3, 1, x.clone()),
+            &Dense::ones(1, 4),
+        );
+        assert!(rep(&x, 4).max_abs_diff(&explicit) < 1e-15);
+    }
+
+    #[test]
+    fn rep_t_is_transpose_of_rep() {
+        let x = vec![1.0f64, -2.0];
+        assert!(rep_t(&x, 3).max_abs_diff(&rep(&x, 3).transpose()) < 1e-15);
+    }
+
+    #[test]
+    fn row_sums_is_x_times_ones_col() {
+        let x = Dense::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let explicit = matmul(&x, &Dense::ones(4, 1));
+        let sums = row_sums(&x);
+        for i in 0..3 {
+            assert!((sums[i] - explicit[(i, 0)]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn col_sums_matches_transpose_row_sums() {
+        let x = Dense::from_fn(3, 4, |i, j| (i + 2 * j) as f64);
+        assert_eq!(col_sums(&x), row_sums(&x.transpose()));
+    }
+
+    #[test]
+    fn rs_equals_ones_multiplication() {
+        let x = Dense::from_fn(3, 3, |i, j| (i * j) as f64 + 1.0);
+        let explicit = matmul(&x, &Dense::ones(3, 5));
+        assert!(rs(&x, 5).max_abs_diff(&explicit) < 1e-15);
+    }
+
+    #[test]
+    fn outer_product_entries() {
+        let o = outer(&[1.0f64, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(o.shape(), (2, 3));
+        assert_eq!(o[(1, 2)], 10.0);
+    }
+
+    #[test]
+    fn l2_norms() {
+        let h = Dense::from_vec(2, 2, vec![3.0f64, 4.0, 0.0, 0.0]);
+        let n = row_l2_norms(&h);
+        assert!((n[0] - 5.0).abs() < 1e-15);
+        assert_eq!(n[1], 0.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_shift_invariant() {
+        let x = Dense::from_vec(2, 3, vec![1.0f64, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let s = softmax_rows(&x);
+        for i in 0..2 {
+            let total: f64 = s.row(i).iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+        // Shifting a row by a constant must not change the softmax.
+        let shifted = crate::ops::map(&x, |v| v + 100.0);
+        assert!(softmax_rows(&shifted).max_abs_diff(&s) < 1e-12);
+    }
+
+    #[test]
+    fn softmax_handles_large_magnitudes() {
+        let x = Dense::from_vec(1, 2, vec![1000.0f32, 999.0]);
+        let s = softmax_rows(&x);
+        assert!(s[(0, 0)].is_finite() && s[(0, 1)].is_finite());
+        assert!(s[(0, 0)] > s[(0, 1)]);
+    }
+
+    #[test]
+    fn diagonal_scalings() {
+        let mut x = Dense::from_fn(2, 3, |_, _| 1.0f64);
+        scale_rows_inplace(&mut x, &[2.0, 3.0]);
+        assert_eq!(x.row(1), &[3.0, 3.0, 3.0]);
+        scale_cols_inplace(&mut x, &[1.0, 0.5, 0.0]);
+        assert_eq!(x.row(0), &[2.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,373 @@
+//! Row-major dense matrices.
+//!
+//! [`Dense`] stores feature matrices `H ∈ R^{n×k}` (tall), parameter
+//! matrices `W ∈ R^{k×k}` (small, square) and gradient matrices. Rows are
+//! contiguous, matching the paper's convention that a vertex's feature
+//! vector is one row of `H`, which keeps per-vertex operations (the dominant
+//! access pattern in SpMM/SDDMM) cache-friendly and vectorizable.
+
+use crate::scalar::Scalar;
+
+/// A row-major dense matrix.
+#[derive(Clone, PartialEq)]
+pub struct Dense<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Dense<T> {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix of all ones — the paper's blue `1` objects used to
+    /// express replication and summation as tensor kernels.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, T::one())
+    }
+
+    /// The `rows × rows` identity matrix.
+    pub fn identity(rows: usize) -> Self {
+        let mut m = Self::zeros(rows, rows);
+        for i in 0..rows {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from a closure evaluated at every `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline(always)]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The raw row-major buffer.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The raw row-major buffer, mutable.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> &[T] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable contiguous slice.
+    #[inline(always)]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Two disjoint mutable rows at once (used by in-place row updates).
+    ///
+    /// # Panics
+    /// Panics if `i == j`.
+    pub fn rows_mut_pair(&mut self, i: usize, j: usize) -> (&mut [T], &mut [T]) {
+        assert_ne!(i, j, "rows must be distinct");
+        let k = self.cols;
+        if i < j {
+            let (a, b) = self.data.split_at_mut(j * k);
+            (&mut a[i * k..i * k + k], &mut b[..k])
+        } else {
+            let (a, b) = self.data.split_at_mut(i * k);
+            (&mut b[..k], &mut a[j * k..j * k + k])
+        }
+    }
+
+    /// Copies rows `[start, start+count)` into a new matrix — block-row
+    /// extraction, used by the distributed block distributions.
+    pub fn slice_rows(&self, start: usize, count: usize) -> Self {
+        assert!(start + count <= self.rows, "row slice out of bounds");
+        Self {
+            rows: count,
+            cols: self.cols,
+            data: self.data[start * self.cols..(start + count) * self.cols].to_vec(),
+        }
+    }
+
+    /// Writes `block` into rows `[start, start+block.rows())`.
+    pub fn set_rows(&mut self, start: usize, block: &Self) {
+        assert_eq!(block.cols, self.cols, "column count mismatch");
+        assert!(start + block.rows <= self.rows, "row slice out of bounds");
+        self.data[start * self.cols..(start + block.rows) * self.cols]
+            .copy_from_slice(&block.data);
+    }
+
+    /// Vertically stacks row blocks into one matrix.
+    ///
+    /// # Panics
+    /// Panics if the blocks disagree on the column count, or if no blocks
+    /// are given.
+    pub fn vstack(blocks: &[Self]) -> Self {
+        assert!(!blocks.is_empty(), "vstack of zero blocks");
+        let cols = blocks[0].cols;
+        let rows = blocks.iter().map(|b| b.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for b in blocks {
+            assert_eq!(b.cols, cols, "column count mismatch in vstack");
+            data.extend_from_slice(&b.data);
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Out-of-place transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        // Simple blocked transpose; matrices here are tall-skinny (n×k with
+        // small k) so a 64-row strip keeps both sides in cache.
+        const STRIP: usize = 64;
+        for ib in (0..self.rows).step_by(STRIP) {
+            let iend = (ib + STRIP).min(self.rows);
+            for j in 0..self.cols {
+                for i in ib..iend {
+                    out.data[j * self.rows + i] = self.data[i * self.cols + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> T {
+        self.data
+            .iter()
+            .map(|&v| v * v)
+            .fold(T::zero(), |a, b| a + b)
+            .sqrt()
+    }
+
+    /// Maximum absolute element (`‖·‖_max`), handy for error reporting.
+    pub fn max_abs(&self) -> T {
+        self.data
+            .iter()
+            .fold(T::zero(), |acc, &v| Scalar::max(acc, v.abs()))
+    }
+
+    /// Largest absolute difference to `other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Self) -> T {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(T::zero(), |acc, (&a, &b)| Scalar::max(acc, (a - b).abs()))
+    }
+
+    /// Converts every element to another scalar type through `f64`.
+    pub fn cast<U: Scalar>(&self) -> Dense<U> {
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+}
+
+impl<T: Scalar> std::ops::Index<(usize, usize)> for Dense<T> {
+    type Output = T;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for Dense<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Dense<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Dense {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for i in 0..max_rows {
+            write!(f, "  ")?;
+            let max_cols = 8.min(self.cols);
+            for j in 0..max_cols {
+                write!(f, "{:>10.4} ", self[(i, j)].to_f64())?;
+            }
+            if self.cols > max_cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut m = Dense::<f64>::zeros(3, 2);
+        assert_eq!(m.shape(), (3, 2));
+        m[(2, 1)] = 5.0;
+        assert_eq!(m[(2, 1)], 5.0);
+        assert_eq!(m.row(2), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let id = Dense::<f32>::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(id[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let m = Dense::<f64>::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Dense::<f64>::from_fn(5, 3, |i, j| (i * 3 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 5));
+        assert_eq!(t[(2, 4)], m[(4, 2)]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn slice_and_set_rows() {
+        let m = Dense::<f64>::from_fn(6, 2, |i, _| i as f64);
+        let block = m.slice_rows(2, 3);
+        assert_eq!(block.rows(), 3);
+        assert_eq!(block[(0, 0)], 2.0);
+        let mut n = Dense::<f64>::zeros(6, 2);
+        n.set_rows(2, &block);
+        assert_eq!(n[(4, 1)], 4.0);
+        assert_eq!(n[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = Dense::<f32>::filled(2, 3, 1.0);
+        let b = Dense::<f32>::filled(1, 3, 2.0);
+        let s = Dense::vstack(&[a, b]);
+        assert_eq!(s.shape(), (3, 3));
+        assert_eq!(s[(2, 0)], 2.0);
+    }
+
+    #[test]
+    fn rows_mut_pair_disjoint() {
+        let mut m = Dense::<f64>::zeros(4, 2);
+        let (a, b) = m.rows_mut_pair(3, 1);
+        a[0] = 1.0;
+        b[1] = 2.0;
+        assert_eq!(m[(3, 0)], 1.0);
+        assert_eq!(m[(1, 1)], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_checks_length() {
+        let _ = Dense::<f64>::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Dense::<f64>::from_vec(1, 2, vec![3.0, -4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn cast_between_precisions() {
+        let m = Dense::<f64>::from_fn(2, 2, |i, j| (i + j) as f64 + 0.5);
+        let f: Dense<f32> = m.cast();
+        assert_eq!(f[(1, 1)], 2.5f32);
+    }
+}

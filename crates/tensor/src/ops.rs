@@ -1,0 +1,184 @@
+//! Element-wise and in-place dense operations.
+//!
+//! These implement the Hadamard product `⊙` and division `⊘` of the paper's
+//! formulations, plus the scale/axpy primitives the optimizers use.
+
+use crate::dense::Dense;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Threshold (in elements) above which element-wise loops run on rayon.
+const PAR_THRESHOLD: usize = 64 * 1024;
+
+#[inline]
+fn zip_apply<T: Scalar>(a: &mut Dense<T>, b: &Dense<T>, f: impl Fn(&mut T, T) + Sync + Send) {
+    assert_eq!(a.shape(), b.shape(), "element-wise op: shape mismatch");
+    let n = a.len();
+    if n >= PAR_THRESHOLD {
+        a.as_mut_slice()
+            .par_iter_mut()
+            .zip(b.as_slice().par_iter())
+            .for_each(|(x, &y)| f(x, y));
+    } else {
+        for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+            f(x, y);
+        }
+    }
+}
+
+/// `a += b`.
+pub fn add_assign<T: Scalar>(a: &mut Dense<T>, b: &Dense<T>) {
+    zip_apply(a, b, |x, y| *x += y);
+}
+
+/// `a -= b`.
+pub fn sub_assign<T: Scalar>(a: &mut Dense<T>, b: &Dense<T>) {
+    zip_apply(a, b, |x, y| *x -= y);
+}
+
+/// `a ⊙= b` (Hadamard product).
+pub fn hadamard_assign<T: Scalar>(a: &mut Dense<T>, b: &Dense<T>) {
+    zip_apply(a, b, |x, y| *x *= y);
+}
+
+/// `a ⊘= b` (Hadamard division).
+pub fn hadamard_div_assign<T: Scalar>(a: &mut Dense<T>, b: &Dense<T>) {
+    zip_apply(a, b, |x, y| *x /= y);
+}
+
+/// Returns `a + b`.
+pub fn add<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
+    let mut out = a.clone();
+    add_assign(&mut out, b);
+    out
+}
+
+/// Returns `a - b`.
+pub fn sub<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
+    let mut out = a.clone();
+    sub_assign(&mut out, b);
+    out
+}
+
+/// Returns `a ⊙ b`.
+pub fn hadamard<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
+    let mut out = a.clone();
+    hadamard_assign(&mut out, b);
+    out
+}
+
+/// `a *= s` (scalar scale).
+pub fn scale_assign<T: Scalar>(a: &mut Dense<T>, s: T) {
+    if a.len() >= PAR_THRESHOLD {
+        a.as_mut_slice().par_iter_mut().for_each(|x| *x *= s);
+    } else {
+        for x in a.as_mut_slice() {
+            *x *= s;
+        }
+    }
+}
+
+/// Returns `s · a`.
+pub fn scale<T: Scalar>(a: &Dense<T>, s: T) -> Dense<T> {
+    let mut out = a.clone();
+    scale_assign(&mut out, s);
+    out
+}
+
+/// `y += alpha * x` — the optimizer update primitive.
+pub fn axpy<T: Scalar>(y: &mut Dense<T>, alpha: T, x: &Dense<T>) {
+    zip_apply(y, x, move |o, v| *o += alpha * v);
+}
+
+/// Applies `f` to every element in place.
+pub fn map_assign<T: Scalar>(a: &mut Dense<T>, f: impl Fn(T) -> T + Sync + Send) {
+    if a.len() >= PAR_THRESHOLD {
+        a.as_mut_slice().par_iter_mut().for_each(|x| *x = f(*x));
+    } else {
+        for x in a.as_mut_slice() {
+            *x = f(*x);
+        }
+    }
+}
+
+/// Returns `f` mapped over every element.
+pub fn map<T: Scalar>(a: &Dense<T>, f: impl Fn(T) -> T + Sync + Send) -> Dense<T> {
+    let mut out = a.clone();
+    map_assign(&mut out, f);
+    out
+}
+
+/// Sum of all elements.
+pub fn total_sum<T: Scalar>(a: &Dense<T>) -> T {
+    a.as_slice().iter().copied().fold(T::zero(), |s, v| s + v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(values: &[f64], rows: usize, cols: usize) -> Dense<f64> {
+        Dense::from_vec(rows, cols, values.to_vec())
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = m(&[0.5, 0.5, 0.5, 0.5], 2, 2);
+        let mut c = add(&a, &b);
+        sub_assign(&mut c, &b);
+        assert!(c.max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn hadamard_product_and_division() {
+        let a = m(&[2.0, 4.0, 6.0, 8.0], 2, 2);
+        let b = m(&[2.0, 2.0, 3.0, 4.0], 2, 2);
+        let h = hadamard(&a, &b);
+        assert_eq!(h.as_slice(), &[4.0, 8.0, 18.0, 32.0]);
+        let mut d = h;
+        hadamard_div_assign(&mut d, &b);
+        assert!(d.max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn scale_and_axpy() {
+        let a = m(&[1.0, -1.0], 1, 2);
+        let s = scale(&a, 3.0);
+        assert_eq!(s.as_slice(), &[3.0, -3.0]);
+        let mut y = m(&[0.0, 1.0], 1, 2);
+        axpy(&mut y, 2.0, &a);
+        assert_eq!(y.as_slice(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let a = m(&[1.0, 4.0, 9.0], 1, 3);
+        let r = map(&a, |v| v.sqrt());
+        assert_eq!(r.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn total_sum_adds_everything() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(total_sum(&a), 10.0);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let big = Dense::<f64>::from_fn(512, 256, |i, j| (i + j) as f64);
+        let mut a = big.clone();
+        add_assign(&mut a, &big);
+        let expect = scale(&big, 2.0);
+        assert!(a.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Dense::<f64>::zeros(2, 2);
+        let b = Dense::<f64>::zeros(2, 3);
+        let mut a = a;
+        add_assign(&mut a, &b);
+    }
+}

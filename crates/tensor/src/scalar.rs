@@ -1,0 +1,181 @@
+//! The [`Scalar`] abstraction over floating-point element types.
+//!
+//! The paper runs all experiments in `float32` but the backward-pass
+//! derivations are verified here with central finite differences, which need
+//! `float64` headroom. All kernels in the workspace are generic over this
+//! trait so both precisions share one implementation.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A floating-point element type usable in every kernel of the workspace.
+///
+/// The trait is deliberately small: the handful of transcendental functions
+/// the GNN formulations need (`exp` for softmax, `sqrt` for norms and Glorot
+/// initialization) plus ordering helpers for the tropical semirings.
+pub trait Scalar:
+    Copy
+    + Default
+    + Debug
+    + Display
+    + PartialOrd
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Positive infinity (identity of the min-plus tropical semiring).
+    fn infinity() -> Self;
+    /// Negative infinity (identity of the max-plus tropical semiring).
+    fn neg_infinity() -> Self;
+    /// Lossy conversion from `f64`, used for constants and initializers.
+    fn from_f64(v: f64) -> Self;
+    /// Lossy conversion to `f64`, used for reporting and gradient checks.
+    fn to_f64(self) -> f64;
+    /// `e^self`.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// `self^p`.
+    fn powi(self, p: i32) -> Self;
+    /// Hyperbolic tangent.
+    fn tanh(self) -> Self;
+    /// IEEE maximum of two values.
+    fn max(self, other: Self) -> Self;
+    /// IEEE minimum of two values.
+    fn min(self, other: Self) -> Self;
+    /// Whether the value is finite (not NaN or ±∞).
+    fn is_finite(self) -> bool;
+    /// Number of bytes one element occupies on the (simulated) wire.
+    const BYTES: usize;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            #[inline(always)]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline(always)]
+            fn one() -> Self {
+                1.0
+            }
+            #[inline(always)]
+            fn infinity() -> Self {
+                <$t>::INFINITY
+            }
+            #[inline(always)]
+            fn neg_infinity() -> Self {
+                <$t>::NEG_INFINITY
+            }
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn powi(self, p: i32) -> Self {
+                <$t>::powi(self, p)
+            }
+            #[inline(always)]
+            fn tanh(self) -> Self {
+                <$t>::tanh(self)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            const BYTES: usize = std::mem::size_of::<$t>();
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identities<T: Scalar>() {
+        assert_eq!(T::zero() + T::one(), T::one());
+        assert_eq!(T::one() * T::one(), T::one());
+        assert!(T::infinity() > T::from_f64(1e300_f64.min(1e30)));
+        assert!(T::neg_infinity() < T::from_f64(-1e30));
+        assert!(!T::infinity().is_finite());
+        assert!(T::one().is_finite());
+    }
+
+    #[test]
+    fn f32_identities() {
+        identities::<f32>();
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+    }
+
+    #[test]
+    fn f64_identities() {
+        identities::<f64>();
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+    }
+
+    #[test]
+    fn transcendentals_match_std() {
+        let x = 0.37_f64;
+        assert_eq!(Scalar::exp(x), x.exp());
+        assert_eq!(Scalar::sqrt(x), x.sqrt());
+        assert_eq!(Scalar::tanh(x), x.tanh());
+        assert_eq!(Scalar::ln(x), x.ln());
+    }
+
+    #[test]
+    fn min_max_ordering() {
+        assert_eq!(Scalar::max(1.0_f32, 2.0), 2.0);
+        assert_eq!(Scalar::min(1.0_f32, 2.0), 1.0);
+    }
+}

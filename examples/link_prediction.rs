@@ -1,0 +1,149 @@
+//! Link prediction with attention embeddings — the protein-protein
+//! interaction use case the paper's introduction motivates (A-GNN success
+//! stories: AlphaFold, PPI prediction).
+//!
+//! A GAT encoder produces vertex embeddings; a dot-product decoder scores
+//! candidate edges; the loss is binary cross-entropy over held-out
+//! positive edges and sampled negatives, implemented as a custom
+//! [`atgnn::loss::Loss`] — the full training loop (including the paper's
+//! analytic backward passes) works unchanged with a user-defined loss.
+//!
+//! ```sh
+//! cargo run --release --example link_prediction
+//! ```
+
+use atgnn::loss::Loss;
+use atgnn::optimizer::Adam;
+use atgnn::{GnnModel, ModelKind};
+use atgnn_sparse::{Coo, Csr};
+use atgnn_tensor::{gemm, init, Activation, Dense};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// BCE over edge scores `σ(⟨h_u, h_v⟩)`: positives are held-out true
+/// edges, negatives are sampled non-edges.
+struct LinkPredictionLoss {
+    positives: Vec<(usize, usize)>,
+    negatives: Vec<(usize, usize)>,
+}
+
+impl LinkPredictionLoss {
+    fn sigmoid(x: f64) -> f64 {
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    fn pairs(&self) -> impl Iterator<Item = (&(usize, usize), f64)> {
+        self.positives
+            .iter()
+            .map(|e| (e, 1.0))
+            .chain(self.negatives.iter().map(|e| (e, 0.0)))
+    }
+
+    /// Ranking quality: AUC estimated over all positive × negative pairs.
+    fn auc(&self, h: &Dense<f64>) -> f64 {
+        let score = |&(u, v): &(usize, usize)| gemm::dot(h.row(u), h.row(v));
+        let pos: Vec<f64> = self.positives.iter().map(score).collect();
+        let neg: Vec<f64> = self.negatives.iter().map(score).collect();
+        let mut wins = 0usize;
+        for &p in &pos {
+            for &n in &neg {
+                if p > n {
+                    wins += 1;
+                }
+            }
+        }
+        wins as f64 / (pos.len() * neg.len()) as f64
+    }
+}
+
+impl Loss<f64> for LinkPredictionLoss {
+    fn value(&self, h: &Dense<f64>) -> f64 {
+        let m = (self.positives.len() + self.negatives.len()) as f64;
+        let mut total = 0.0;
+        for (&(u, v), label) in self.pairs() {
+            let p = Self::sigmoid(gemm::dot(h.row(u), h.row(v))).clamp(1e-12, 1.0 - 1e-12);
+            total -= label * p.ln() + (1.0 - label) * (1.0 - p).ln();
+        }
+        total / m
+    }
+
+    fn gradient(&self, h: &Dense<f64>) -> Dense<f64> {
+        // d/dh_u of BCE(σ(⟨h_u,h_v⟩)) = (σ−y)·h_v (and symmetrically).
+        let m = (self.positives.len() + self.negatives.len()) as f64;
+        let mut grad = Dense::zeros(h.rows(), h.cols());
+        for (&(u, v), label) in self.pairs() {
+            let coef = (Self::sigmoid(gemm::dot(h.row(u), h.row(v))) - label) / m;
+            for (g, &hv) in grad.row_mut(u).iter_mut().zip(h.row(v)) {
+                *g += coef * hv;
+            }
+            for (g, &hu) in grad.row_mut(v).iter_mut().zip(h.row(u)) {
+                *g += coef * hu;
+            }
+        }
+        grad
+    }
+}
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let n = 400;
+    // A "protein interaction network": two-level community structure, so
+    // that edges are genuinely predictable from the topology.
+    let community = |v: usize| v * 8 / n;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if community(u) == community(v) { 0.06 } else { 0.002 };
+            if rng.gen::<f64>() < p {
+                edges.push((u as u32, v as u32));
+            }
+        }
+    }
+    // Hold out 15% of edges as positives; train the encoder on the rest.
+    let holdout = edges.len() * 15 / 100;
+    let positives: Vec<(usize, usize)> = edges[..holdout]
+        .iter()
+        .map(|&(u, v)| (u as usize, v as usize))
+        .collect();
+    let train_edges: Vec<(u32, u32)> = edges[holdout..].to_vec();
+    let mut coo = Coo::<f64>::from_edges(n, n, train_edges);
+    coo.symmetrize_binary();
+    let graph = Csr::from_coo(&coo);
+    // Sampled negatives (non-edges).
+    let edge_set: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
+    let mut negatives = Vec::new();
+    while negatives.len() < positives.len() {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u < v && !edge_set.contains(&(u, v)) {
+            negatives.push((u as usize, v as usize));
+        }
+    }
+    println!(
+        "interaction graph: {} | {} held-out positives, {} sampled negatives",
+        atgnn_graphgen::stats::DegreeStats::of(&graph),
+        positives.len(),
+        negatives.len()
+    );
+
+    let loss = LinkPredictionLoss {
+        positives,
+        negatives,
+    };
+    let x = init::features::<f64>(n, 16, 11);
+    let a = GnnModel::<f64>::prepare_adjacency(ModelKind::Gat, &graph);
+    let mut model = GnnModel::<f64>::uniform(ModelKind::Gat, &[16, 32, 16], Activation::Elu, 13);
+    let mut opt = Adam::new(0.005);
+    println!("epoch   0: AUC {:.3} (untrained)", loss.auc(&model.inference(&a, &x)));
+    for epoch in 1..=60 {
+        let l = model.train_step(&a, &x, &loss, &mut opt);
+        if epoch % 15 == 0 {
+            let emb = model.inference(&a, &x);
+            println!("epoch {epoch:>3}: BCE {l:.4}  AUC {:.3}", loss.auc(&emb));
+        }
+    }
+    let final_auc = loss.auc(&model.inference(&a, &x));
+    println!("final AUC {final_auc:.3} (0.5 = random ranking)");
+    assert!(final_auc > 0.6, "embeddings should rank held-out edges above non-edges");
+}

@@ -1,0 +1,13 @@
+//! `atgnn-suite` — umbrella crate for the atgnn workspace.
+//!
+//! Re-exports the workspace crates under one roof so the root `examples/`
+//! and `tests/` can exercise the full public API the way a downstream user
+//! would. See the README for the crate map.
+
+pub use atgnn as core;
+pub use atgnn_baseline as baseline;
+pub use atgnn_dist as dist;
+pub use atgnn_graphgen as graphgen;
+pub use atgnn_net as net;
+pub use atgnn_sparse as sparse;
+pub use atgnn_tensor as tensor;

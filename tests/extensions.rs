@@ -1,0 +1,120 @@
+//! Integration tests for the extension surface: multi-head GAT, GIN, the
+//! DAG fusion analyzer, checkpointing, and the high-level training loop —
+//! exercised through the public API only.
+
+use atgnn::dag::Dag;
+use atgnn::layers::{GinLayer, HeadCombine, MultiHeadGatLayer};
+use atgnn::loss::SoftmaxCrossEntropy;
+use atgnn::optimizer::Adam;
+use atgnn::train::{fit, TrainConfig};
+use atgnn::{checkpoint, AGnnLayer, GnnModel, ModelKind};
+use atgnn_graphgen::kronecker;
+use atgnn_sparse::norm;
+use atgnn_tensor::{init, Activation};
+
+#[test]
+fn multihead_gat_node_classification() {
+    // The canonical GAT architecture: 8 concat heads then an averaging
+    // output layer, trained with the high-level fit loop.
+    let raw = kronecker::adjacency::<f64>(64, 512, 1);
+    let a = norm::add_self_loops(&raw);
+    let x = init::features::<f64>(64, 8, 2);
+    let labels: Vec<usize> = (0..64).map(|v| v % 3).collect();
+    let loss = SoftmaxCrossEntropy::dense(labels);
+    let l1: Box<dyn AGnnLayer<f64>> = Box::new(MultiHeadGatLayer::new(
+        8,
+        4,
+        8,
+        HeadCombine::Concat,
+        Activation::Elu,
+        3,
+    ));
+    let l2: Box<dyn AGnnLayer<f64>> = Box::new(MultiHeadGatLayer::new(
+        32,
+        3,
+        4,
+        HeadCombine::Average,
+        Activation::Identity,
+        5,
+    ));
+    let mut model = GnnModel::new(vec![l1, l2]);
+    let mut opt = Adam::new(0.02);
+    let hist = fit(
+        &mut model,
+        &a,
+        &x,
+        &loss,
+        &mut opt,
+        &TrainConfig {
+            epochs: 60,
+            patience: 0,
+            min_rel_improvement: 0.0,
+        },
+    );
+    assert!(
+        hist.best_loss < hist.losses[0],
+        "{} -> {}",
+        hist.losses[0],
+        hist.best_loss
+    );
+}
+
+#[test]
+fn gin_stacks_with_attention_layers() {
+    // Heterogeneous stacks: a GIN feature extractor feeding a GAT head.
+    use atgnn::layers::GatLayer;
+    // Kronecker rounds the vertex count to a power of two.
+    let raw = kronecker::adjacency::<f64>(32, 256, 7);
+    let a = norm::add_self_loops(&raw);
+    let x = init::features::<f64>(a.rows(), 6, 8);
+    let l1: Box<dyn AGnnLayer<f64>> = Box::new(GinLayer::new(6, 12, 8, Activation::Relu, 9));
+    let l2: Box<dyn AGnnLayer<f64>> = Box::new(GatLayer::new(8, 4, Activation::Identity, 11));
+    let mut model = GnnModel::new(vec![l1, l2]);
+    let target = init::features::<f64>(a.rows(), 4, 13);
+    let loss = atgnn::loss::Mse::new(target);
+    let mut opt = Adam::new(0.01);
+    let hist = fit(&mut model, &a, &x, &loss, &mut opt, &TrainConfig::default());
+    assert!(hist.best_loss < hist.losses[0]);
+}
+
+#[test]
+fn checkpoint_round_trip_preserves_trained_model() {
+    let a = kronecker::adjacency::<f64>(32, 160, 15);
+    let prepared = GnnModel::<f64>::prepare_adjacency(ModelKind::Agnn, &a);
+    let x = init::features::<f64>(32, 4, 16);
+    let labels: Vec<usize> = (0..32).map(|v| v % 2).collect();
+    let loss = SoftmaxCrossEntropy::dense(labels);
+    let mut model = GnnModel::<f64>::uniform(ModelKind::Agnn, &[4, 8, 2], Activation::Tanh, 17);
+    let mut opt = Adam::new(0.02);
+    for _ in 0..20 {
+        model.train_step(&prepared, &x, &loss, &mut opt);
+    }
+    let trained_out = model.inference(&prepared, &x);
+    let path = std::env::temp_dir().join("atgnn_ext_test.ckpt");
+    checkpoint::save(&model, &path).unwrap();
+    let mut restored = GnnModel::<f64>::uniform(ModelKind::Agnn, &[4, 8, 2], Activation::Tanh, 999);
+    checkpoint::load(&mut restored, &path).unwrap();
+    assert!(restored.inference(&prepared, &x).max_abs_diff(&trained_out) < 1e-15);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn dag_analysis_certifies_no_materialization_for_every_model() {
+    for dag in [
+        Dag::va_forward(),
+        Dag::agnn_forward(),
+        Dag::gat_forward(),
+        Dag::va_backward(),
+    ] {
+        assert!(!dag.virtual_nodes().is_empty(), "models have virtual tensors");
+        assert!(dag.all_virtual_fused(), "a virtual tensor would be materialized");
+    }
+}
+
+#[test]
+fn multihead_param_count_scales_with_heads() {
+    let one = MultiHeadGatLayer::<f64>::new(8, 4, 1, HeadCombine::Concat, Activation::Elu, 1);
+    let four = MultiHeadGatLayer::<f64>::new(8, 4, 4, HeadCombine::Concat, Activation::Elu, 1);
+    assert_eq!(four.param_count(), 4 * one.param_count());
+    assert_eq!(four.out_dim(), 16);
+}
