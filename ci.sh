@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, tests, and repo-specific hygiene checks.
+# Everything runs offline (the workspace has no external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== lint: no unwrap() in kernel code (crates/sparse, crates/tensor) =="
+# Kernel code must propagate or assert with context, not unwrap. Test
+# modules are exempt (split so this file's own literal doesn't match).
+pattern='.unwrap'
+pattern="${pattern}()"
+bad=0
+for crate in crates/sparse/src crates/tensor/src; do
+    while IFS= read -r file; do
+        # Strip everything from the test module down, then look for unwrap.
+        if awk '/#\[cfg\(test\)\]/{exit} {print}' "$file" | grep -nF "$pattern" >/dev/null; then
+            echo "forbidden $pattern in non-test code: $file"
+            awk '/#\[cfg\(test\)\]/{exit} {print}' "$file" | grep -nF "$pattern"
+            bad=1
+        fi
+    done < <(find "$crate" -name '*.rs')
+done
+if [ "$bad" -ne 0 ]; then
+    echo "FAILED: kernel code must not use $pattern — return Result or expect() with context"
+    exit 1
+fi
+
+echo "== ci.sh: all checks passed =="

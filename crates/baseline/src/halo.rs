@@ -203,7 +203,11 @@ impl<T: Scalar> HaloPlan<T> {
     /// back to the owners and returns the completed own-block gradient
     /// (own part + received remote contributions).
     pub fn scatter_add(&self, comm: &Comm, gathered: &Dense<T>) -> Dense<T> {
-        assert_eq!(gathered.rows(), self.gathered_len, "gathered shape mismatch");
+        assert_eq!(
+            gathered.rows(),
+            self.gathered_len,
+            "gathered shape mismatch"
+        );
         let k = gathered.cols();
         let mut own = gathered.slice_rows(0, self.own_len());
         if self.part.p == 1 {
@@ -333,8 +337,12 @@ impl<T: Scalar> LocalLayer<T> {
                 let gathered_hp = plan.gather(comm, &hp_own);
                 let u_own = gemm::matvec(&hp_own, &self.a_src);
                 let v_g = gemm::matvec(&gathered_hp, &self.a_dst);
-                let (e, c_pre) =
-                    atgnn_sparse::fused::gat_scores(&plan.a_local, &u_own, &v_g, atgnn::layers::GAT_SLOPE);
+                let (e, c_pre) = atgnn_sparse::fused::gat_scores(
+                    &plan.a_local,
+                    &u_own,
+                    &v_g,
+                    atgnn::layers::GAT_SLOPE,
+                );
                 let psi = masked::row_softmax(&e);
                 cache.z = spmm::spmm(&psi, &gathered_hp);
                 cache.psi = Some(psi);
@@ -396,7 +404,13 @@ impl<T: Scalar> LocalLayer<T> {
                 let dcos = ds.map_values(|v| self.beta * v);
                 let n_own = blocks::row_l2_norms(&cache.h_in);
                 let n_g = blocks::row_l2_norms(gathered);
-                let inv = |x: T| if x == T::zero() { T::zero() } else { T::one() / x };
+                let inv = |x: T| {
+                    if x == T::zero() {
+                        T::zero()
+                    } else {
+                        T::one() / x
+                    }
+                };
                 let p_mat = {
                     let mut vals = dcos.values().to_vec();
                     let indptr = dcos.indptr().to_vec();
@@ -568,7 +582,10 @@ impl<T: Scalar> LocalDistModel<T> {
             let (dh, gr) = self.layers[l].backward(plan, comm, &caches[l], &g);
             grads[l] = Some(gr);
             if l > 0 {
-                g = ops::hadamard(&dh, &self.layers[l - 1].activation.derivative(&caches[l - 1].z));
+                g = ops::hadamard(
+                    &dh,
+                    &self.layers[l - 1].activation.derivative(&caches[l - 1].z),
+                );
             }
         }
         grads.into_iter().map(|g| g.unwrap()).collect()
@@ -627,11 +644,16 @@ mod tests {
     #[test]
     fn halo_inference_equals_sequential_for_every_model() {
         let n = 12;
-        for kind in [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat, ModelKind::Gcn] {
+        for kind in [
+            ModelKind::Va,
+            ModelKind::Agnn,
+            ModelKind::Gat,
+            ModelKind::Gcn,
+        ] {
             let a = GnnModel::<f64>::prepare_adjacency(kind, &graph(n));
             let x = init::features(n, 3, 5);
-            let seq = GnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Tanh, 7)
-                .inference(&a, &x);
+            let seq =
+                GnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Tanh, 7).inference(&a, &x);
             for p in [1usize, 3, 4] {
                 let a = a.clone();
                 let x = x.clone();
@@ -658,7 +680,12 @@ mod tests {
     #[test]
     fn halo_gradients_equal_sequential() {
         let n = 10;
-        for kind in [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat, ModelKind::Gcn] {
+        for kind in [
+            ModelKind::Va,
+            ModelKind::Agnn,
+            ModelKind::Gat,
+            ModelKind::Gcn,
+        ] {
             let a = GnnModel::<f64>::prepare_adjacency(kind, &graph(n));
             let x = init::features(n, 3, 11);
             let target = init::features(n, 2, 13);
@@ -699,7 +726,8 @@ mod tests {
         // A denser graph must move more halo bytes — the Θ(cut·k) law.
         let n = 32;
         let run = |extra_edges: u32| {
-            let mut edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+            let mut edges: Vec<(u32, u32)> =
+                (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
             for d in 0..extra_edges {
                 for i in 0..n as u32 {
                     edges.push((i, (i + 7 + d * 3) % n as u32));

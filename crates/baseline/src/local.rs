@@ -105,14 +105,14 @@ pub fn layer_forward<T: Scalar>(p: &LocalLayerParams<'_, T>, a: &Csr<T>, h: &Den
             let v = gemm::matvec(&hp, p.a_dst);
             let lrelu = Activation::LeakyRelu(atgnn::layers::GAT_SLOPE);
             let mut z = Dense::zeros(n, k_out);
-            for i in 0..n {
+            for (i, &ui) in u.iter().enumerate() {
                 let (cols, _) = a.row(i);
                 if cols.is_empty() {
                     continue;
                 }
                 let scores: Vec<T> = cols
                     .iter()
-                    .map(|&j| lrelu.eval(u[i] + v[j as usize]))
+                    .map(|&j| lrelu.eval(ui + v[j as usize]))
                     .collect();
                 let att = softmax(&scores);
                 let out = z.row_mut(i);
@@ -192,7 +192,12 @@ mod tests {
         // The paper's core premise: local and global formulations compute
         // the same function; only the execution differs.
         let n = 14;
-        for kind in [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat, ModelKind::Gcn] {
+        for kind in [
+            ModelKind::Va,
+            ModelKind::Agnn,
+            ModelKind::Gat,
+            ModelKind::Gcn,
+        ] {
             let a = GnnModel::<f64>::prepare_adjacency(kind, &graph(n));
             let x = init::features(n, 4, 3);
             let model = GnnModel::<f64>::uniform(kind, &[4, 5, 3], Activation::Elu, 9);

@@ -20,10 +20,8 @@ use atgnn::loss::Loss;
 use atgnn::optimizer::Optimizer;
 use atgnn::{GnnModel, ModelKind};
 use atgnn_sparse::{Coo, Csr};
+use atgnn_tensor::rng::Rng;
 use atgnn_tensor::{Dense, Scalar};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// The paper's DistDGL batch size.
 pub const PAPER_BATCH_SIZE: usize = 16 * 1024;
@@ -53,9 +51,9 @@ pub fn sample_batch<T: Scalar>(
     seed: u64,
 ) -> MiniBatch<T> {
     let n = a.rows();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut all: Vec<u32> = (0..n as u32).collect();
-    all.shuffle(&mut rng);
+    rng.shuffle(&mut all);
     let batch = batch_size.min(n);
     let mut vertices: Vec<u32> = all[..batch].to_vec();
     let mut in_set: std::collections::HashSet<u32> = vertices.iter().copied().collect();
@@ -67,7 +65,7 @@ pub fn sample_batch<T: Scalar>(
             let (cols, _) = a.row(v as usize);
             let mut picked: Vec<u32> = cols.to_vec();
             if picked.len() > fanout {
-                picked.shuffle(&mut rng);
+                rng.shuffle(&mut picked);
                 picked.truncate(fanout);
             }
             for c in picked {
@@ -186,9 +184,7 @@ mod tests {
         let a = graph(40);
         let b = sample_batch(&a, 8, 1, 4, 3);
         let part = Partition1d { n: 40, p: 4 };
-        let total: u64 = (0..4)
-            .map(|r| batch_fetch_bytes(&b, part, r, 16))
-            .sum();
+        let total: u64 = (0..4).map(|r| batch_fetch_bytes(&b, part, r, 16)).sum();
         // Each sampled vertex is remote to exactly p-1 ranks.
         assert_eq!(total, (b.vertices.len() * 3 * 16 * 8) as u64);
     }
@@ -209,7 +205,14 @@ mod tests {
                 tb.row_mut(local).copy_from_slice(target.row(v as usize));
             }
             let loss = Mse::new(tb);
-            losses.push(train_batch_step(&mut model, ModelKind::Gat, &b, &x, &loss, &mut opt));
+            losses.push(train_batch_step(
+                &mut model,
+                ModelKind::Gat,
+                &b,
+                &x,
+                &loss,
+                &mut opt,
+            ));
         }
         let head: f64 = losses[..5].iter().sum();
         let tail: f64 = losses[15..].iter().sum();

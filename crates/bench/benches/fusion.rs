@@ -1,15 +1,17 @@
-//! The kernel-fusion ablation as a Criterion benchmark (Figure 5): the
-//! fused virtual-tensor score kernels against their materializing
-//! counterparts, per model.
+//! The kernel-fusion ablation (Figure 5): the fused virtual-tensor score
+//! kernels against their materializing counterparts, per model. Plain
+//! timing harness; prints median seconds per variant.
 
+use atgnn_bench::measure::time_median;
 use atgnn_graphgen::kronecker;
 use atgnn_sparse::fused;
 use atgnn_tensor::init;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_fusion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fusion");
-    group.sample_size(10);
+fn report(name: &str, id: &str, secs: f64) {
+    println!("fusion/{name}/{id}: {:.3} ms", secs * 1e3);
+}
+
+fn main() {
     for n_exp in [9usize, 11] {
         let n = 1usize << n_exp;
         let a = kronecker::adjacency::<f32>(n, n * 16, 5);
@@ -17,27 +19,47 @@ fn bench_fusion(c: &mut Criterion) {
         let u = init::glorot_vec::<f32>(a.rows(), 1);
         let v = init::glorot_vec::<f32>(a.rows(), 2);
         let id = format!("n{n}");
-        group.bench_with_input(BenchmarkId::new("va_fused", &id), &(), |b, _| {
-            b.iter(|| std::hint::black_box(fused::va_scores(&a, &h)))
-        });
-        group.bench_with_input(BenchmarkId::new("va_unfused", &id), &(), |b, _| {
-            b.iter(|| std::hint::black_box(fused::unfused_va_scores(&a, &h)))
-        });
-        group.bench_with_input(BenchmarkId::new("gat_fused", &id), &(), |b, _| {
-            b.iter(|| std::hint::black_box(fused::gat_scores(&a, &u, &v, 0.2)))
-        });
-        group.bench_with_input(BenchmarkId::new("gat_unfused", &id), &(), |b, _| {
-            b.iter(|| std::hint::black_box(fused::unfused_gat_scores(&a, &u, &v, 0.2)))
-        });
-        group.bench_with_input(BenchmarkId::new("agnn_fused", &id), &(), |b, _| {
-            b.iter(|| std::hint::black_box(fused::agnn_scores(&a, &h, 1.0f32)))
-        });
-        group.bench_with_input(BenchmarkId::new("agnn_unfused", &id), &(), |b, _| {
-            b.iter(|| std::hint::black_box(fused::unfused_agnn_scores(&a, &h, 1.0f32)))
-        });
+        report(
+            "va_fused",
+            &id,
+            time_median(|| {
+                std::hint::black_box(fused::va_scores(&a, &h));
+            }),
+        );
+        report(
+            "va_unfused",
+            &id,
+            time_median(|| {
+                std::hint::black_box(fused::unfused_va_scores(&a, &h));
+            }),
+        );
+        report(
+            "gat_fused",
+            &id,
+            time_median(|| {
+                std::hint::black_box(fused::gat_scores(&a, &u, &v, 0.2));
+            }),
+        );
+        report(
+            "gat_unfused",
+            &id,
+            time_median(|| {
+                std::hint::black_box(fused::unfused_gat_scores(&a, &u, &v, 0.2));
+            }),
+        );
+        report(
+            "agnn_fused",
+            &id,
+            time_median(|| {
+                std::hint::black_box(fused::agnn_scores(&a, &h, 1.0f32));
+            }),
+        );
+        report(
+            "agnn_unfused",
+            &id,
+            time_median(|| {
+                std::hint::black_box(fused::unfused_agnn_scores(&a, &h, 1.0f32));
+            }),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fusion);
-criterion_main!(benches);

@@ -1,15 +1,17 @@
 //! Microbenchmarks of the Table 2 kernel set: SpMM (all semirings),
 //! SDDMM, MM, SpMMM, MSpMM, graph softmax, and the rep/sum building
-//! blocks.
+//! blocks. Plain timing harness; prints median seconds per kernel.
 
+use atgnn_bench::measure::time_median;
 use atgnn_graphgen::kronecker;
 use atgnn_sparse::{masked, sddmm, semiring, spmm};
 use atgnn_tensor::{blocks, gemm, init};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernels");
-    group.sample_size(10);
+fn report(name: &str, id: &str, secs: f64) {
+    println!("kernels/{name}/{id}: {:.3} ms", secs * 1e3);
+}
+
+fn main() {
     for n_exp in [11usize, 13] {
         let n = 1usize << n_exp;
         let a = kronecker::adjacency::<f32>(n, n * 16, 3);
@@ -17,42 +19,78 @@ fn bench_kernels(c: &mut Criterion) {
             let h = init::features::<f32>(n, k, 5);
             let w = init::glorot::<f32>(k, k, 7);
             let id = format!("n{n}_k{k}");
-            group.bench_with_input(BenchmarkId::new("spmm_real", &id), &(), |b, _| {
-                b.iter(|| std::hint::black_box(spmm::spmm(&a, &h)))
-            });
-            group.bench_with_input(BenchmarkId::new("spmm_minplus", &id), &(), |b, _| {
-                b.iter(|| std::hint::black_box(spmm::spmm_semiring(&semiring::MinPlus, &a, &h)))
-            });
-            group.bench_with_input(BenchmarkId::new("spmm_average", &id), &(), |b, _| {
-                b.iter(|| std::hint::black_box(spmm::spmm_semiring(&semiring::Average, &a, &h)))
-            });
-            group.bench_with_input(BenchmarkId::new("spmm_transpose", &id), &(), |b, _| {
-                b.iter(|| std::hint::black_box(spmm::spmm_t(&a, &h)))
-            });
-            group.bench_with_input(BenchmarkId::new("sddmm", &id), &(), |b, _| {
-                b.iter(|| std::hint::black_box(sddmm::sddmm_pattern(&a, &h, &h)))
-            });
-            group.bench_with_input(BenchmarkId::new("mm", &id), &(), |b, _| {
-                b.iter(|| std::hint::black_box(gemm::matmul(&h, &w)))
-            });
-            group.bench_with_input(BenchmarkId::new("spmmm", &id), &(), |b, _| {
-                b.iter(|| std::hint::black_box(spmm::spmmm(&a, &h, &w, None)))
-            });
-            group.bench_with_input(BenchmarkId::new("mspmm", &id), &(), |b, _| {
-                let m = init::features::<f32>(k, n, 9);
-                b.iter(|| std::hint::black_box(spmm::mspmm(&m, &a, &h)))
-            });
+            report(
+                "spmm_real",
+                &id,
+                time_median(|| {
+                    std::hint::black_box(spmm::spmm(&a, &h));
+                }),
+            );
+            report(
+                "spmm_minplus",
+                &id,
+                time_median(|| {
+                    std::hint::black_box(spmm::spmm_semiring(&semiring::MinPlus, &a, &h));
+                }),
+            );
+            report(
+                "spmm_average",
+                &id,
+                time_median(|| {
+                    std::hint::black_box(spmm::spmm_semiring(&semiring::Average, &a, &h));
+                }),
+            );
+            report(
+                "spmm_transpose",
+                &id,
+                time_median(|| {
+                    std::hint::black_box(spmm::spmm_t(&a, &h));
+                }),
+            );
+            report(
+                "sddmm",
+                &id,
+                time_median(|| {
+                    std::hint::black_box(sddmm::sddmm_pattern(&a, &h, &h));
+                }),
+            );
+            report(
+                "mm",
+                &id,
+                time_median(|| {
+                    std::hint::black_box(gemm::matmul(&h, &w));
+                }),
+            );
+            report(
+                "spmmm",
+                &id,
+                time_median(|| {
+                    std::hint::black_box(spmm::spmmm(&a, &h, &w, None));
+                }),
+            );
+            let m = init::features::<f32>(k, n, 9);
+            report(
+                "mspmm",
+                &id,
+                time_median(|| {
+                    std::hint::black_box(spmm::mspmm(&m, &a, &h));
+                }),
+            );
             let scores = sddmm::sddmm_pattern(&a, &h, &h);
-            group.bench_with_input(BenchmarkId::new("graph_softmax", &id), &(), |b, _| {
-                b.iter(|| std::hint::black_box(masked::row_softmax(&scores)))
-            });
-            group.bench_with_input(BenchmarkId::new("row_l2_norms", &id), &(), |b, _| {
-                b.iter(|| std::hint::black_box(blocks::row_l2_norms(&h)))
-            });
+            report(
+                "graph_softmax",
+                &id,
+                time_median(|| {
+                    std::hint::black_box(masked::row_softmax(&scores));
+                }),
+            );
+            report(
+                "row_l2_norms",
+                &id,
+                time_median(|| {
+                    std::hint::black_box(blocks::row_l2_norms(&h));
+                }),
+            );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

@@ -1,56 +1,58 @@
 //! End-to-end model benchmarks: per-model inference and full training
 //! steps (forward + backward + update) in the global formulation, plus
 //! the local-formulation inference for the execution-model comparison.
+//! Plain timing harness; prints median seconds per configuration.
 
 use atgnn::loss::Mse;
 use atgnn::optimizer::Sgd;
 use atgnn::{GnnModel, ModelKind};
+use atgnn_bench::measure::time_median;
 use atgnn_graphgen::kronecker;
 use atgnn_tensor::{init, Activation};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("models");
-    group.sample_size(10);
+fn report(name: &str, id: &str, secs: f64) {
+    println!("models/{name}/{id}: {:.3} ms", secs * 1e3);
+}
+
+fn main() {
     let n = 1usize << 12;
     let k = 16;
     let layers = 3;
     let raw = kronecker::adjacency::<f32>(n, n * 16, 11);
-    for kind in [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat, ModelKind::Gcn] {
+    for kind in [
+        ModelKind::Va,
+        ModelKind::Agnn,
+        ModelKind::Gat,
+        ModelKind::Gcn,
+    ] {
         let a = GnnModel::<f32>::prepare_adjacency(kind, &raw);
         let x = init::features::<f32>(n, k, 5);
         let dims = vec![k; layers + 1];
         let model = GnnModel::<f32>::uniform(kind, &dims, Activation::Relu, 7);
-        group.bench_with_input(
-            BenchmarkId::new("inference_global", kind.name()),
-            &(),
-            |b, _| b.iter(|| std::hint::black_box(model.inference(&a, &x))),
+        report(
+            "inference_global",
+            kind.name(),
+            time_median(|| {
+                std::hint::black_box(model.inference(&a, &x));
+            }),
         );
-        group.bench_with_input(
-            BenchmarkId::new("inference_local", kind.name()),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    std::hint::black_box(atgnn_baseline::local::inference_like(
-                        &model, kind, &a, &x,
-                    ))
-                })
-            },
+        report(
+            "inference_local",
+            kind.name(),
+            time_median(|| {
+                std::hint::black_box(atgnn_baseline::local::inference_like(&model, kind, &a, &x));
+            }),
         );
         let target = init::features::<f32>(n, k, 9);
         let loss = Mse::new(target);
         let mut train_model = GnnModel::<f32>::uniform(kind, &dims, Activation::Relu, 7);
         let mut opt = Sgd::new(0.0001);
-        group.bench_with_input(
-            BenchmarkId::new("train_step_global", kind.name()),
-            &(),
-            |b, _| {
-                b.iter(|| std::hint::black_box(train_model.train_step(&a, &x, &loss, &mut opt)))
-            },
+        report(
+            "train_step_global",
+            kind.name(),
+            time_median(|| {
+                std::hint::black_box(train_model.train_step(&a, &x, &loss, &mut opt));
+            }),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

@@ -8,6 +8,7 @@
 //! the simulated cluster and reports measured/predicted ratios — the
 //! constants are implementation-specific, the *scaling* must match.
 
+use atgnn::analyze::comm::{check_grid, layer_volume_words, GridSpec};
 use atgnn::ModelKind;
 use atgnn_bench::measure::{comm_global, comm_local, Task};
 use atgnn_bench::report::{Record, Reporter};
@@ -30,10 +31,24 @@ fn main() {
         let g = comm_global(ModelKind::Va, &a, k, layers, p, Task::Inference);
         let predicted = predict::global_volume_words(n, k, p) * 4.0; // f32 words → bytes
         let ratio = g.max_rank_bytes() as f64 / predicted;
+        // The plan-time analyzer's per-layer estimate must agree with the
+        // asymptotic prediction up to the broadcast+reduce constant.
+        let grid = GridSpec::square(p);
+        let analyzed = layer_volume_words(n, k, k, grid) * 4.0;
+        let vs_law = analyzed / predicted;
         println!(
-            "p={p:<4} measured={:<10} predicted={:<12.0} measured/predicted={ratio:.2}",
+            "p={p:<4} measured={:<10} predicted={:<12.0} measured/predicted={ratio:.2} \
+             analyzer={analyzed:<12.0} analyzer/predicted={vs_law:.2}",
             g.max_rank_bytes(),
             predicted
+        );
+        assert!(
+            (1.0..2.0).contains(&vs_law),
+            "analyzer estimate must sit within the broadcast+reduce constant of the law"
+        );
+        assert!(
+            check_grid(n, k, k, grid).is_none(),
+            "the square grid must pass the analyzer's comm-volume lint"
         );
         rep.push(Record {
             experiment: "vol_global".into(),
@@ -60,6 +75,13 @@ fn main() {
             );
         }
         prev_ratio = Some(ratio);
+    }
+
+    println!("-- analyzer lint: degenerate 1D grids leave the O(nk/sqrt(p)) regime --");
+    for p in [4usize, 16, 64] {
+        let diag = check_grid(n, k, k, GridSpec::new(p, 1))
+            .expect("a 1D partition must trip the comm-volume lint");
+        println!("p={p:<4} {diag}");
     }
 
     println!("-- local volume vs n^2 k q / p (ER) --");

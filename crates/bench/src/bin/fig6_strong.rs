@@ -11,10 +11,10 @@
 //! vertex counts.
 
 use atgnn::ModelKind;
+use atgnn_baseline::minibatch;
 use atgnn_bench::measure::{comm_global, compute_global, minibatch_time, Task};
 use atgnn_bench::report::{Record, Reporter};
 use atgnn_bench::{imbalance_2d, scale};
-use atgnn_baseline::minibatch;
 use atgnn_graphgen::kronecker;
 use atgnn_net::MachineModel;
 
@@ -76,7 +76,8 @@ fn main() {
                 }
                 // The paper's 16k batch scaled by the graph scale factor (1/64).
                 let batch_size = (minibatch::PAPER_BATCH_SIZE / 64 * scale()).max(64);
-                let (t, fetch) = minibatch_time(&machine, ModelKind::Gat, &a, k, layers, p, batch_size);
+                let (t, fetch) =
+                    minibatch_time(&machine, ModelKind::Gat, &a, k, layers, p, batch_size);
                 rep.push(Record {
                     experiment: exp.clone(),
                     model: "DistDGL-standin".into(),

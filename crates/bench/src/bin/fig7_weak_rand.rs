@@ -24,7 +24,11 @@ fn main() {
     let mut rep = Reporter::new("fig7_weak_rand");
     let base_n = (1usize << 12) * scale();
     let ps = [1usize, 4, 16, 64];
-    let densities = [("rho1pct", 0.01), ("rho0.1pct", 0.001), ("rho0.01pct", 0.0001)];
+    let densities = [
+        ("rho1pct", 0.01),
+        ("rho0.1pct", 0.001),
+        ("rho0.01pct", 0.0001),
+    ];
     let kinds = [
         ModelKind::Va,
         ModelKind::Agnn,

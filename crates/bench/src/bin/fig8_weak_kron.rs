@@ -6,10 +6,10 @@
 //! 512 nodes") while the per-rank communication stays nearly flat.
 
 use atgnn::ModelKind;
+use atgnn_baseline::minibatch;
 use atgnn_bench::measure::{comm_global, compute_global, minibatch_time, Task};
 use atgnn_bench::report::{Record, Reporter};
 use atgnn_bench::{imbalance_2d, scale};
-use atgnn_baseline::minibatch;
 use atgnn_graphgen::kronecker;
 use atgnn_net::MachineModel;
 
@@ -20,7 +20,11 @@ fn main() {
     let mut rep = Reporter::new("fig8_weak_kron");
     let base_n = (1usize << 12) * scale();
     let ps = [1usize, 4, 16, 64];
-    let densities = [("rho1pct", 0.01), ("rho0.1pct", 0.001), ("rho0.01pct", 0.0001)];
+    let densities = [
+        ("rho1pct", 0.01),
+        ("rho0.1pct", 0.001),
+        ("rho0.01pct", 0.0001),
+    ];
     for (tag, rho) in densities {
         for &p in &ps {
             let n = (base_n as f64 * (p as f64).sqrt()) as usize;
@@ -54,8 +58,7 @@ fn main() {
             // DistDGL stand-in for the same panel, with the paper's 16k
             // batch scaled by the graph scale factor (1/64).
             let batch_size = (minibatch::PAPER_BATCH_SIZE / 64 * scale()).max(64);
-            let (t, fetch) =
-                minibatch_time(&machine, ModelKind::Gat, &a, k, layers, p, batch_size);
+            let (t, fetch) = minibatch_time(&machine, ModelKind::Gat, &a, k, layers, p, batch_size);
             rep.push(Record {
                 experiment: format!("fig8_{tag}"),
                 model: "DistDGL-standin".into(),

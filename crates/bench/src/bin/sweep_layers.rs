@@ -12,7 +12,12 @@ fn main() {
     let mut rep = Reporter::new("sweep_layers");
     let n = (1usize << 12) * scale();
     let a = kronecker::adjacency::<f32>(n, n * 16, 21);
-    let kinds = [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat, ModelKind::Gcn];
+    let kinds = [
+        ModelKind::Va,
+        ModelKind::Agnn,
+        ModelKind::Gat,
+        ModelKind::Gcn,
+    ];
     for task in [Task::Inference, Task::Training] {
         for k in [16usize, 32, 128] {
             for layers in [2usize, 4, 6, 8, 10] {

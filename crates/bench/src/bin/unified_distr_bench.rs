@@ -9,8 +9,8 @@
 //! ```
 
 use atgnn_bench::cli::Cli;
-use atgnn_bench::measure::{comm_global, compute_global, Task};
 use atgnn_bench::imbalance_2d;
+use atgnn_bench::measure::{comm_global, compute_global, Task};
 use atgnn_net::MachineModel;
 use std::io::Write;
 
@@ -57,7 +57,11 @@ fn main() {
         .open(path)
         .expect("open results file");
     if fresh {
-        writeln!(f, "bench,model,task,vertices,edges,features,layers,processes,type,seed,median_s").ok();
+        writeln!(
+            f,
+            "bench,model,task,vertices,edges,features,layers,processes,type,seed,median_s"
+        )
+        .ok();
     }
     writeln!(
         f,

@@ -56,7 +56,11 @@ fn main() {
     } else {
         run::<f32>(&cli)
     };
-    let task = if cli.inference { "inference" } else { "training" };
+    let task = if cli.inference {
+        "inference"
+    } else {
+        "training"
+    };
     println!(
         "model={} task={task} n={} e={} k={} L={} type={} seed={} -> median {:.6}s",
         cli.model.name(),
@@ -78,7 +82,11 @@ fn main() {
         .open(path)
         .expect("open results file");
     if fresh {
-        writeln!(f, "bench,model,task,vertices,edges,features,layers,processes,type,seed,median_s").ok();
+        writeln!(
+            f,
+            "bench,model,task,vertices,edges,features,layers,processes,type,seed,median_s"
+        )
+        .ok();
     }
     writeln!(
         f,

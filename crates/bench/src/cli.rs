@@ -141,8 +141,12 @@ impl Cli {
             return atgnn_graphgen::prepare_adjacency(coo, self.seed);
         }
         match self.dataset.as_str() {
-            "kronecker" => atgnn_graphgen::kronecker::adjacency(self.vertices, self.edges, self.seed),
-            "uniform" => atgnn_graphgen::erdos_renyi::adjacency(self.vertices, self.edges, self.seed),
+            "kronecker" => {
+                atgnn_graphgen::kronecker::adjacency(self.vertices, self.edges, self.seed)
+            }
+            "uniform" => {
+                atgnn_graphgen::erdos_renyi::adjacency(self.vertices, self.edges, self.seed)
+            }
             other => panic!("unknown dataset {other} (kronecker|uniform)"),
         }
     }

@@ -89,7 +89,14 @@ pub fn compute_local(kind: ModelKind, a: &Csr<f32>, k: usize, layers: usize) -> 
 
 /// Exact communication statistics of the distributed *global*
 /// formulation on `p` simulated ranks.
-pub fn comm_global(kind: ModelKind, a: &Csr<f32>, k: usize, layers: usize, p: usize, task: Task) -> CommStats {
+pub fn comm_global(
+    kind: ModelKind,
+    a: &Csr<f32>,
+    k: usize,
+    layers: usize,
+    p: usize,
+    task: Task,
+) -> CommStats {
     let a = GnnModel::<f32>::prepare_adjacency(kind, a);
     let n = a.rows();
     let x = init::features::<f32>(n, k, 7);
@@ -115,7 +122,14 @@ pub fn comm_global(kind: ModelKind, a: &Csr<f32>, k: usize, layers: usize, p: us
 
 /// Exact communication statistics of the distributed *local*
 /// formulation (halo exchange) on `p` simulated ranks.
-pub fn comm_local(kind: ModelKind, a: &Csr<f32>, k: usize, layers: usize, p: usize, task: Task) -> CommStats {
+pub fn comm_local(
+    kind: ModelKind,
+    a: &Csr<f32>,
+    k: usize,
+    layers: usize,
+    p: usize,
+    task: Task,
+) -> CommStats {
     let a = GnnModel::<f32>::prepare_adjacency(kind, a);
     let n = a.rows();
     let x = init::features::<f32>(n, k, 7);

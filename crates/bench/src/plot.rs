@@ -144,8 +144,19 @@ impl LinePlot {
         for (i, s) in self.series.iter().enumerate() {
             let color = PALETTE[i % PALETTE.len()];
             let mut path = String::new();
-            for (j, &(x, y)) in s.points.iter().filter(|&&(x, y)| x > 0.0 && y > 0.0).enumerate() {
-                let _ = write!(path, "{}{:.1},{:.1} ", if j == 0 { "M" } else { "L" }, sx(x), sy(y));
+            for (j, &(x, y)) in s
+                .points
+                .iter()
+                .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+                .enumerate()
+            {
+                let _ = write!(
+                    path,
+                    "{}{:.1},{:.1} ",
+                    if j == 0 { "M" } else { "L" },
+                    sx(x),
+                    sy(y)
+                );
             }
             let _ = write!(
                 svg,
@@ -181,11 +192,13 @@ impl LinePlot {
 }
 
 fn xml(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn format_pow(v: f64) -> String {
-    if v >= 1.0 && v < 1e6 {
+    if (1.0..1e6).contains(&v) {
         format!("{v:.0}")
     } else {
         format!("1e{}", v.log10().round() as i64)
@@ -216,9 +229,13 @@ pub fn parse_results_csv(text: &str) -> Vec<(String, String, f64, f64)> {
 
 /// Builds one plot per experiment tag from parsed CSV rows
 /// (x = rank count, y = modeled seconds).
-pub fn plots_from_rows(rows: &[(String, String, f64, f64)], csv_name: &str) -> Vec<(String, LinePlot)> {
+pub fn plots_from_rows(
+    rows: &[(String, String, f64, f64)],
+    csv_name: &str,
+) -> Vec<(String, LinePlot)> {
     use std::collections::BTreeMap;
-    let mut by_exp: BTreeMap<&str, BTreeMap<&str, Vec<(f64, f64)>>> = BTreeMap::new();
+    type SeriesMap<'a> = BTreeMap<&'a str, Vec<(f64, f64)>>;
+    let mut by_exp: BTreeMap<&str, SeriesMap> = BTreeMap::new();
     for (exp, series, p, y) in rows {
         by_exp
             .entry(exp)
@@ -246,7 +263,10 @@ pub fn plots_from_rows(rows: &[(String, String, f64, f64)], csv_name: &str) -> V
                 }
                 Series {
                     label: label.to_string(),
-                    points: dedup.into_iter().map(|(x, y, c)| (x, y / c as f64)).collect(),
+                    points: dedup
+                        .into_iter()
+                        .map(|(x, y, c)| (x, y / c as f64))
+                        .collect(),
                 }
             })
             .collect();

@@ -2,12 +2,11 @@
 //! format, extended with the communication columns) and aligned console
 //! tables.
 
-use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
 
 /// One experiment measurement row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Record {
     /// Figure/experiment id ("fig6a", "fig7_weak_rand", …).
     pub experiment: String,

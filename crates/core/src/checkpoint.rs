@@ -48,7 +48,10 @@ pub fn load<T: Scalar>(model: &mut GnnModel<T>, path: &Path) -> io::Result<()> {
     let mut magic = [0u8; 9];
     f.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a checkpoint"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a checkpoint",
+        ));
     }
     let mut u64buf = [0u8; 8];
     f.read_exact(&mut u64buf)?;
@@ -56,7 +59,10 @@ pub fn load<T: Scalar>(model: &mut GnnModel<T>, path: &Path) -> io::Result<()> {
     if layers != model.depth() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("checkpoint has {layers} layers, model has {}", model.depth()),
+            format!(
+                "checkpoint has {layers} layers, model has {}",
+                model.depth()
+            ),
         ));
     }
     for layer in model.layers_mut() {
@@ -66,7 +72,10 @@ pub fn load<T: Scalar>(model: &mut GnnModel<T>, path: &Path) -> io::Result<()> {
         if slots != params.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("layer expects {} slots, checkpoint has {slots}", params.len()),
+                format!(
+                    "layer expects {} slots, checkpoint has {slots}",
+                    params.len()
+                ),
             ));
         }
         for slot in params.iter_mut() {
@@ -94,64 +103,70 @@ mod tests {
     use atgnn_graphgen::kronecker;
     use atgnn_tensor::{init, Activation};
 
-    fn tmp(name: &str) -> std::path::PathBuf {
+    fn tmp(name: &str) -> io::Result<std::path::PathBuf> {
         let dir = std::env::temp_dir().join("atgnn_ckpt");
-        std::fs::create_dir_all(&dir).unwrap();
-        dir.join(name)
+        std::fs::create_dir_all(&dir)?;
+        Ok(dir.join(name))
     }
 
     #[test]
-    fn round_trip_restores_exact_outputs() {
+    fn round_trip_restores_exact_outputs() -> io::Result<()> {
         let a = kronecker::adjacency::<f64>(32, 128, 1);
         let a = GnnModel::<f64>::prepare_adjacency(ModelKind::Gat, &a);
         let x = init::features::<f64>(32, 4, 2);
         let model = GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 6, 2], Activation::Elu, 3);
         let want = model.inference(&a, &x);
-        let path = tmp("gat.ckpt");
-        save(&model, &path).unwrap();
+        let path = tmp("gat.ckpt")?;
+        save(&model, &path)?;
         // A differently-seeded model produces different outputs...
         let mut other = GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 6, 2], Activation::Elu, 99);
         assert!(other.inference(&a, &x).max_abs_diff(&want) > 1e-6);
         // ...until the checkpoint restores the original parameters.
-        load(&mut other, &path).unwrap();
+        load(&mut other, &path)?;
         assert!(other.inference(&a, &x).max_abs_diff(&want) < 1e-15);
         std::fs::remove_file(path).ok();
+        Ok(())
     }
 
     #[test]
-    fn cross_precision_restore() {
+    fn cross_precision_restore() -> io::Result<()> {
         let model = GnnModel::<f64>::uniform(ModelKind::Agnn, &[4, 4], Activation::Relu, 5);
-        let path = tmp("agnn.ckpt");
-        save(&model, &path).unwrap();
-        let mut f32_model = GnnModel::<f32>::uniform(ModelKind::Agnn, &[4, 4], Activation::Relu, 77);
-        load(&mut f32_model, &path).unwrap();
+        let path = tmp("agnn.ckpt")?;
+        save(&model, &path)?;
+        let mut f32_model =
+            GnnModel::<f32>::uniform(ModelKind::Agnn, &[4, 4], Activation::Relu, 77);
+        load(&mut f32_model, &path)?;
         // Spot-check a weight crossed precisions.
         let w64 = model.layers()[0].param_slices()[0][0];
         let w32 = f32_model.layers()[0].param_slices()[0][0];
         assert!((w64 - w32 as f64).abs() < 1e-7);
         std::fs::remove_file(path).ok();
+        Ok(())
     }
 
     #[test]
-    fn shape_mismatch_is_rejected() {
+    fn shape_mismatch_is_rejected() -> io::Result<()> {
         let model = GnnModel::<f64>::uniform(ModelKind::Va, &[4, 4], Activation::Relu, 7);
-        let path = tmp("va.ckpt");
-        save(&model, &path).unwrap();
-        let mut wrong_depth = GnnModel::<f64>::uniform(ModelKind::Va, &[4, 4, 4], Activation::Relu, 7);
+        let path = tmp("va.ckpt")?;
+        save(&model, &path)?;
+        let mut wrong_depth =
+            GnnModel::<f64>::uniform(ModelKind::Va, &[4, 4, 4], Activation::Relu, 7);
         assert!(load(&mut wrong_depth, &path).is_err());
         let mut wrong_dims = GnnModel::<f64>::uniform(ModelKind::Va, &[4, 8], Activation::Relu, 7);
         assert!(load(&mut wrong_dims, &path).is_err());
         let mut wrong_kind = GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 4], Activation::Relu, 7);
         assert!(load(&mut wrong_kind, &path).is_err());
         std::fs::remove_file(path).ok();
+        Ok(())
     }
 
     #[test]
-    fn garbage_file_is_rejected() {
-        let path = tmp("garbage.ckpt");
-        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+    fn garbage_file_is_rejected() -> io::Result<()> {
+        let path = tmp("garbage.ckpt")?;
+        std::fs::write(&path, b"not a checkpoint at all")?;
         let mut model = GnnModel::<f64>::uniform(ModelKind::Gcn, &[2, 2], Activation::Relu, 9);
         assert!(load(&mut model, &path).is_err());
         std::fs::remove_file(path).ok();
+        Ok(())
     }
 }

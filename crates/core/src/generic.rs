@@ -16,6 +16,9 @@
 use atgnn_sparse::{fused, masked, spmm, Csr, Semiring};
 use atgnn_tensor::{gemm, Activation, Dense, Scalar};
 
+/// A user-supplied score closure: `(A, H) ↦` values on `A`'s pattern.
+pub type ScoreFn<T> = Box<dyn Fn(&Csr<T>, &Dense<T>) -> Csr<T> + Send + Sync>;
+
 /// The edge-score function `Ψ(A, H)`.
 pub enum Psi<T> {
     /// `Ψ = A` — degenerates to a C-GNN (paper Section 4.4: "instead of
@@ -29,7 +32,7 @@ pub enum Psi<T> {
         beta: T,
     },
     /// Any user-defined score function producing values on `A`'s pattern.
-    Custom(Box<dyn Fn(&Csr<T>, &Dense<T>) -> Csr<T> + Send + Sync>),
+    Custom(ScoreFn<T>),
 }
 
 impl<T: Scalar> Psi<T> {
@@ -116,7 +119,8 @@ impl<T: Scalar, S: Semiring<T>> GenericLayer<T, S> {
         let psi = self.psi.eval(a, h);
         let z = match self.order {
             ComposeOrder::AggregateThenUpdate => {
-                self.phi.apply(&spmm::spmm_semiring(&self.aggregate, &psi, h))
+                self.phi
+                    .apply(&spmm::spmm_semiring(&self.aggregate, &psi, h))
             }
             ComposeOrder::UpdateThenAggregate => {
                 spmm::spmm_semiring(&self.aggregate, &psi, &self.phi.apply(h))
@@ -213,7 +217,9 @@ mod tests {
         let a = graph();
         let h = init::features(5, 2, 7);
         let layer = GenericLayer {
-            psi: Psi::Custom(Box::new(|a: &Csr<f64>, _h: &Dense<f64>| norm::row_normalize(a))),
+            psi: Psi::Custom(Box::new(|a: &Csr<f64>, _h: &Dense<f64>| {
+                norm::row_normalize(a)
+            })),
             aggregate: Real,
             phi: Phi::Identity,
             order: ComposeOrder::AggregateThenUpdate,
@@ -232,7 +238,10 @@ mod tests {
         let layer = GenericLayer {
             psi: Psi::Adjacency,
             aggregate: Real,
-            phi: Phi::Mlp(vec![(w1.clone(), Activation::Relu), (w2.clone(), Activation::Identity)]),
+            phi: Phi::Mlp(vec![
+                (w1.clone(), Activation::Relu),
+                (w2.clone(), Activation::Identity),
+            ]),
             order: ComposeOrder::AggregateThenUpdate,
             activation: Activation::Identity,
         };

@@ -77,17 +77,16 @@ pub fn check_layer<L: AGnnLayer<f64> + Clone>(
             "{}: slot {slot_idx} length mismatch",
             layer.name()
         );
-        for p in 0..base_len {
+        for (p, &analytic) in grad.iter().enumerate() {
             let mut lp = layer.clone();
             lp.param_slices_mut()[slot_idx][p] += eps;
             let mut lm = layer.clone();
             lm.param_slices_mut()[slot_idx][p] -= eps;
             let fd = (loss(&lp, a, h, &c) - loss(&lm, a, h, &c)) / (2.0 * eps);
             assert!(
-                (fd - grad[p]).abs() < tol,
-                "{}: dθ[{slot_idx}][{p}] finite-diff {fd} vs analytic {}",
-                layer.name(),
-                grad[p]
+                (fd - analytic).abs() < tol,
+                "{}: dθ[{slot_idx}][{p}] finite-diff {fd} vs analytic {analytic}",
+                layer.name()
             );
         }
     }

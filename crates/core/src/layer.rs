@@ -76,7 +76,11 @@ impl<T: Scalar> Gradients<T> {
     /// Element-wise accumulation (used when gradients are averaged over
     /// replicas in the distributed engine).
     pub fn accumulate(&mut self, other: &Self) {
-        assert_eq!(self.slots.len(), other.slots.len(), "gradient slot mismatch");
+        assert_eq!(
+            self.slots.len(),
+            other.slots.len(),
+            "gradient slot mismatch"
+        );
         for (a, b) in self.slots.iter_mut().zip(&other.slots) {
             assert_eq!(a.len(), b.len(), "gradient length mismatch");
             for (x, &y) in a.iter_mut().zip(b) {

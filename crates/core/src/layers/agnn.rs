@@ -107,8 +107,14 @@ impl<T: Scalar> AGnnLayer<T> for AgnnLayer<T> {
         g: &Dense<T>,
     ) -> BackwardResult<T> {
         let psi = cache.psi.as_ref().expect("AGNN backward needs cached Ψ");
-        let cos = cache.scores.as_ref().expect("AGNN backward needs cached cosines");
-        let hp = cache.h_proj.as_ref().expect("AGNN backward needs cached HW");
+        let cos = cache
+            .scores
+            .as_ref()
+            .expect("AGNN backward needs cached cosines");
+        let hp = cache
+            .h_proj
+            .as_ref()
+            .expect("AGNN backward needs cached HW");
         let beta = self.beta[0];
         // D = A ⊙ (G (HW)ᵀ) and the softmax backward.
         let d = sddmm::sddmm_pattern(a, g, hp);
@@ -119,7 +125,13 @@ impl<T: Scalar> AGnnLayer<T> for AgnnLayer<T> {
         let dcos = ds.map_values(|v| beta * v);
         // Cosine backward through the virtual n nᵀ normalization.
         let norms = blocks::row_l2_norms(h);
-        let inv = |x: T| if x == T::zero() { T::zero() } else { T::one() / x };
+        let inv = |x: T| {
+            if x == T::zero() {
+                T::zero()
+            } else {
+                T::one() / x
+            }
+        };
         // P_ij = ∂cos_ij / (n_i n_j).
         let p = {
             let mut vals = dcos.values().to_vec();

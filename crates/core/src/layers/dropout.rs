@@ -71,7 +71,11 @@ impl<T: Scalar> DropoutLayer<T> {
         // SplitMix-style hash of (seed, step, r, c) → uniform in [0, 1).
         let mut z = self
             .seed
-            .wrapping_add(self.step.load(Ordering::Relaxed).wrapping_mul(0x9E3779B97F4A7C15))
+            .wrapping_add(
+                self.step
+                    .load(Ordering::Relaxed)
+                    .wrapping_mul(0x9E3779B97F4A7C15),
+            )
             .wrapping_add((r as u64).wrapping_mul(0xBF58476D1CE4E5B9))
             .wrapping_add((c as u64).wrapping_mul(0x94D049BB133111EB));
         z ^= z >> 30;
@@ -203,8 +207,7 @@ mod tests {
         use crate::GnnModel;
         let a = atgnn_sparse::norm::add_self_loops(&Csr::identity(6));
         let x = init::features(6, 4, 15);
-        let l1: Box<dyn crate::AGnnLayer<f64>> =
-            Box::new(GatLayer::new(4, 4, Activation::Elu, 17));
+        let l1: Box<dyn crate::AGnnLayer<f64>> = Box::new(GatLayer::new(4, 4, Activation::Elu, 17));
         let l2: Box<dyn crate::AGnnLayer<f64>> = Box::new(DropoutLayer::new(4, 0.25, 19));
         let l3: Box<dyn crate::AGnnLayer<f64>> =
             Box::new(GatLayer::new(4, 2, Activation::Identity, 21));

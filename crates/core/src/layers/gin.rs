@@ -37,7 +37,13 @@ pub struct GinLayer<T: Scalar> {
 
 impl<T: Scalar> GinLayer<T> {
     /// Creates a layer `k_in → k_hidden → k_out` with `ε = 0`.
-    pub fn new(k_in: usize, k_hidden: usize, k_out: usize, activation: Activation, seed: u64) -> Self {
+    pub fn new(
+        k_in: usize,
+        k_hidden: usize,
+        k_out: usize,
+        activation: Activation,
+        seed: u64,
+    ) -> Self {
         Self {
             w1: init::glorot(k_in, k_hidden, seed),
             w2: init::glorot(k_hidden, k_out, seed ^ 0x61),

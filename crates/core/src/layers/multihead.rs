@@ -48,7 +48,14 @@ impl<T: Scalar> MultiHeadGatLayer<T> {
     ) -> Self {
         assert!(heads >= 1, "need at least one head");
         let heads = (0..heads)
-            .map(|h| GatLayer::new(k_in, k_head, Activation::Identity, seed ^ (h as u64 * 0x9E37 + 1)))
+            .map(|h| {
+                GatLayer::new(
+                    k_in,
+                    k_head,
+                    Activation::Identity,
+                    seed ^ (h as u64 * 0x9E37 + 1),
+                )
+            })
             .collect();
         Self {
             heads,
@@ -86,10 +93,10 @@ impl<T: Scalar> AGnnLayer<T> for MultiHeadGatLayer<T> {
     }
 
     fn forward(&self, a: &Csr<T>, h: &Dense<T>, cache: Option<&mut LayerCache<T>>) -> Dense<T> {
-        let mut caches = cache.map(|c| {
+        let mut caches = cache;
+        if let Some(c) = caches.as_deref_mut() {
             c.sub = Vec::with_capacity(self.heads.len());
-            c
-        });
+        }
         let n = h.rows();
         let mut out = Dense::zeros(n, self.out_dim());
         let kh = self.head_dim();
@@ -139,9 +146,7 @@ impl<T: Scalar> AGnnLayer<T> for MultiHeadGatLayer<T> {
         for (idx, head) in self.heads.iter().enumerate() {
             // The head's share of the output gradient.
             let g_h = match self.combine {
-                HeadCombine::Concat => {
-                    Dense::from_fn(n, kh, |r, c| g[(r, idx * kh + c)])
-                }
+                HeadCombine::Concat => Dense::from_fn(n, kh, |r, c| g[(r, idx * kh + c)]),
                 HeadCombine::Average => ops::scale(g, inv_h),
             };
             let res = head.backward(a, h, &cache.sub[idx], &g_h);

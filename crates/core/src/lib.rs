@@ -40,6 +40,7 @@
 //! optimizers (SGD, momentum, Adam) in [`optimizer`], and
 //! finite-difference verification helpers in [`gradcheck`].
 
+pub mod analyze;
 pub mod checkpoint;
 pub mod dag;
 pub mod generic;
@@ -51,5 +52,6 @@ pub mod model;
 pub mod optimizer;
 pub mod train;
 
+pub use analyze::{Diagnostic, Rule, Severity};
 pub use layer::{AGnnLayer, Gradients, LayerCache};
 pub use model::{GnnModel, ModelKind};

@@ -66,6 +66,27 @@ impl<'a, T: Scalar> DistContext<'a, T> {
         }
     }
 
+    /// Plan-time estimate of the words per rank one `k_in → k_out` layer
+    /// moves on this context's grid (the static analyzer's
+    /// communication model, paper §7).
+    pub fn estimated_layer_volume_words(&self, k_in: usize, k_out: usize) -> f64 {
+        let spec = atgnn::analyze::comm::GridSpec::new(self.grid.q, self.grid.q);
+        atgnn::analyze::comm::layer_volume_words(self.n, k_in, k_out, spec)
+    }
+
+    /// Lints this context's plan against the paper's `O(nk/√p + k·k')`
+    /// global communication bound; `None` means the plan is within the
+    /// bound. The `√p×√p` grid always passes — the check guards against
+    /// future plan shapes degenerating toward 1D partitions.
+    pub fn check_comm_volume(
+        &self,
+        k_in: usize,
+        k_out: usize,
+    ) -> Option<atgnn::analyze::Diagnostic> {
+        let spec = atgnn::analyze::comm::GridSpec::new(self.grid.q, self.grid.q);
+        atgnn::analyze::comm::check_grid(self.n, k_in, k_out, spec)
+    }
+
     /// A fresh collective tag; SPMD determinism keeps the per-rank
     /// counters in lock-step.
     fn next_tag(&self) -> u32 {
@@ -173,9 +194,9 @@ impl<'a, T: Scalar> DistContext<'a, T> {
         }
         let tag = self.next_tag();
         let (rows, cols) = partial.shape();
-        let flat = self
-            .comm
-            .allreduce_vec_group(&self.col_team(), partial.into_vec(), tag, |a, b| a + b);
+        let flat =
+            self.comm
+                .allreduce_vec_group(&self.col_team(), partial.into_vec(), tag, |a, b| a + b);
         Dense::from_vec(rows, cols, flat)
     }
 
@@ -207,7 +228,8 @@ impl<'a, T: Scalar> DistContext<'a, T> {
         }
         let tag = self.next_tag();
         let members: Vec<usize> = (0..self.comm.size()).collect();
-        self.comm.allreduce_vec_group(&members, v, tag, |a, b| a + b)
+        self.comm
+            .allreduce_vec_group(&members, v, tag, |a, b| a + b)
     }
 
     /// The distributed graph softmax (Section 4.2) over full matrix rows:
@@ -222,9 +244,9 @@ impl<'a, T: Scalar> DistContext<'a, T> {
         let indptr = e.indptr().to_vec();
         // Global row maxima.
         let mut local_max = vec![T::neg_infinity(); rows];
-        for r in 0..rows {
+        for (r, m) in local_max.iter_mut().enumerate() {
             for &v in e.row(r).1 {
-                local_max[r] = Scalar::max(local_max[r], v);
+                *m = Scalar::max(*m, v);
             }
         }
         let gmax = self.allreduce_row_vec(local_max, Scalar::max);
@@ -307,7 +329,10 @@ mod tests {
             let partial = Dense::filled(r1 - r0, 2, 1.0f64);
             let out = ctx.reduce_rows_redistribute(partial);
             let (c0, c1) = ctx.col_range();
-            (out.rows() == c1 - c0, out.as_slice().iter().all(|&v| v == 3.0))
+            (
+                out.rows() == c1 - c0,
+                out.as_slice().iter().all(|&v| v == 3.0),
+            )
         });
         for (shape_ok, vals_ok) in results {
             assert!(shape_ok && vals_ok);
@@ -318,7 +343,10 @@ mod tests {
     fn distributed_softmax_matches_sequential() {
         let n = 12;
         let a = full_graph(n);
-        let scores = atgnn_sparse::fused::va_scores(&a, &Dense::from_fn(n, 3, |r, c| ((r * 3 + c) % 7) as f64 * 0.3));
+        let scores = atgnn_sparse::fused::va_scores(
+            &a,
+            &Dense::from_fn(n, 3, |r, c| ((r * 3 + c) % 7) as f64 * 0.3),
+        );
         let want = masked::row_softmax(&scores).to_dense();
         for p in [1usize, 4, 9] {
             let want = want.clone();

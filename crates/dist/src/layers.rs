@@ -291,7 +291,13 @@ pub fn backward_agnn<T: Scalar>(
     let dcos = ds.map_values(|v| beta * v);
     let n_i = blocks::row_l2_norms(h_i);
     let n_j = blocks::row_l2_norms(h_j);
-    let inv = |x: T| if x == T::zero() { T::zero() } else { T::one() / x };
+    let inv = |x: T| {
+        if x == T::zero() {
+            T::zero()
+        } else {
+            T::one() / x
+        }
+    };
     let p = {
         let mut vals = dcos.values().to_vec();
         let indptr = dcos.indptr().to_vec();

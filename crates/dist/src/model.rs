@@ -67,7 +67,31 @@ pub enum DistLayer<T: Scalar> {
 }
 
 impl<T: Scalar> DistLayer<T> {
+    /// `(k_in, k_out)` of this layer's projection, when it has one.
+    /// Only the debug-build comm-volume check needs it.
+    #[cfg(debug_assertions)]
+    fn k_dims(&self) -> Option<(usize, usize)> {
+        match self {
+            DistLayer::Va { w }
+            | DistLayer::Agnn { w, .. }
+            | DistLayer::Gat { w, .. }
+            | DistLayer::Gcn { w } => Some((w.rows(), w.cols())),
+            DistLayer::Gin { w1, w2, .. } => Some((w1.rows(), w2.cols())),
+            DistLayer::GatMultiHead { heads, .. } => heads
+                .first()
+                .map(|(w, _, _)| (w.rows(), heads.iter().map(|(w, _, _)| w.cols()).sum())),
+        }
+    }
+
     fn forward(&self, ctx: &DistContext<'_, T>, h_j: &Dense<T>) -> DistCache<T> {
+        // Rule 5 of the plan-time analyzer: the grid must keep this layer
+        // within the paper's global communication bound.
+        #[cfg(debug_assertions)]
+        if let Some((k_in, k_out)) = self.k_dims() {
+            if let Some(d) = ctx.check_comm_volume(k_in, k_out) {
+                panic!("{d}");
+            }
+        }
         match self {
             DistLayer::Va { w } => forward_va(ctx, w, h_j),
             DistLayer::Agnn { w, beta } => forward_agnn(ctx, w, *beta, h_j),
@@ -90,8 +114,7 @@ impl<T: Scalar> DistLayer<T> {
                 for (w, a_src, a_dst) in heads {
                     let head_cache = forward_gat(ctx, w, a_src, a_dst, *slope, h_j);
                     for r in 0..rows {
-                        z.row_mut(r)[col..col + w.cols()]
-                            .copy_from_slice(head_cache.z.row(r));
+                        z.row_mut(r)[col..col + w.cols()].copy_from_slice(head_cache.z.row(r));
                     }
                     col += w.cols();
                     cache.sub.push(head_cache);
@@ -142,7 +165,9 @@ impl<T: Scalar> DistLayer<T> {
         match self {
             DistLayer::Va { w } | DistLayer::Gcn { w } => vec![w.as_mut_slice()],
             DistLayer::Agnn { w, .. } => vec![w.as_mut_slice()],
-            DistLayer::Gat { w, a_src, a_dst, .. } => {
+            DistLayer::Gat {
+                w, a_src, a_dst, ..
+            } => {
                 vec![w.as_mut_slice(), a_src.as_mut_slice(), a_dst.as_mut_slice()]
             }
             DistLayer::Gin { w1, w2, .. } => vec![w1.as_mut_slice(), w2.as_mut_slice()],
@@ -166,6 +191,10 @@ impl<T: Scalar> DistGnnModel<T> {
     /// [`atgnn::GnnModel::uniform`] called with the same arguments —
     /// the distributed-equals-sequential tests rely on this.
     pub fn uniform(kind: ModelKind, dims: &[usize], activation: Activation, seed: u64) -> Self {
+        // The distributed plan runs the same canned execution DAGs; in
+        // debug builds, reject them before allocating any rank state.
+        #[cfg(debug_assertions)]
+        atgnn::analyze::debug_validate(kind);
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for (l, w) in dims.windows(2).enumerate() {
             let act = if l + 2 == dims.len() {
@@ -362,16 +391,15 @@ mod tests {
         for kind in KINDS {
             let a = GnnModel::<f64>::prepare_adjacency(kind, &graph(n));
             let x = init::features(n, 3, 5);
-            let seq = GnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Relu, 7)
-                .inference(&a, &x);
+            let seq =
+                GnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Relu, 7).inference(&a, &x);
             for p in [1usize, 4, 9] {
                 let a = a.clone();
                 let x = x.clone();
                 let seq = seq.clone();
                 let (errs, _) = Cluster::run(p, move |comm| {
                     let ctx = DistContext::new(&comm, &a);
-                    let model =
-                        DistGnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Relu, 7);
+                    let model = DistGnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Relu, 7);
                     let (c0, c1) = ctx.col_range();
                     let out = model.inference(&ctx, &x.slice_rows(c0, c1 - c0));
                     out.max_abs_diff(&seq.slice_rows(c0, c1 - c0))
@@ -477,7 +505,8 @@ mod tests {
         let a = graph(n);
         let x = init::features(n, 3, 41);
         let seq_layer = GinLayer::<f64>::new(3, 5, 2, Activation::Identity, 43);
-        let seq_model = atgnn::GnnModel::new(vec![Box::new(seq_layer.clone()) as Box<dyn AGnnLayer<f64>>]);
+        let seq_model =
+            atgnn::GnnModel::new(vec![Box::new(seq_layer.clone()) as Box<dyn AGnnLayer<f64>>]);
         let seq = seq_model.inference(&a, &x);
         // Sequential gradients through a linear probe loss.
         let probe = init::features(n, 2, 45);
@@ -524,16 +553,9 @@ mod tests {
         let n = 12;
         let a = GnnModel::<f64>::prepare_adjacency(ModelKind::Gat, &graph(n));
         let x = init::features(n, 3, 81);
-        let seq_layer = MultiHeadGatLayer::<f64>::new(
-            3,
-            2,
-            3,
-            HeadCombine::Concat,
-            Activation::Identity,
-            83,
-        );
-        let seq_model =
-            GnnModel::new(vec![Box::new(seq_layer.clone()) as Box<dyn AGnnLayer<f64>>]);
+        let seq_layer =
+            MultiHeadGatLayer::<f64>::new(3, 2, 3, HeadCombine::Concat, Activation::Identity, 83);
+        let seq_model = GnnModel::new(vec![Box::new(seq_layer.clone()) as Box<dyn AGnnLayer<f64>>]);
         let seq = seq_model.inference(&a, &x);
         let probe = init::features(n, 6, 85);
         let (_, ctxs) = seq_model.forward_cached(&a, &x);
@@ -595,12 +617,8 @@ mod tests {
             let x = x.clone();
             let (_, stats) = Cluster::run(p, move |comm| {
                 let ctx = DistContext::new(&comm, &a);
-                let model = DistGnnModel::<f64>::uniform(
-                    ModelKind::Va,
-                    &[k, k, k],
-                    Activation::Relu,
-                    5,
-                );
+                let model =
+                    DistGnnModel::<f64>::uniform(ModelKind::Va, &[k, k, k], Activation::Relu, 5);
                 let (c0, c1) = ctx.col_range();
                 model.inference(&ctx, &x.slice_rows(c0, c1 - c0));
             });
@@ -609,15 +627,17 @@ mod tests {
         let mut prev = f64::INFINITY;
         for p in [4usize, 16, 64] {
             let v = vol(p);
-            let predicted_bytes =
-                atgnn_net::model::predict::global_volume_words(n, k, p) * 8.0;
+            let predicted_bytes = atgnn_net::model::predict::global_volume_words(n, k, p) * 8.0;
             let per_layer = v / 2.0; // 2 layers
             let ratio = per_layer / predicted_bytes;
             assert!(
                 ratio > 0.3 && ratio < 10.0,
                 "p={p}: measured/predicted = {ratio} ({per_layer} vs {predicted_bytes})"
             );
-            assert!(v < prev, "volume must shrink with p: v({p}) = {v} >= {prev}");
+            assert!(
+                v < prev,
+                "volume must shrink with p: v({p}) = {v} >= {prev}"
+            );
             prev = v;
         }
     }

@@ -59,9 +59,7 @@ fn coll_bytes(c: Coll, n: usize, k: usize, p: usize, b: usize) -> f64 {
         Coll::AllreduceCol => 2.0 * block * frac,
         Coll::BcastVec => 2.0 * vec * frac,
         Coll::AllreduceVec => 2.0 * vec * frac,
-        Coll::Params(words) => {
-            2.0 * words as f64 * b as f64 * (p as f64 - 1.0) / p as f64
-        }
+        Coll::Params(words) => 2.0 * words as f64 * b as f64 * (p as f64 - 1.0) / p as f64,
     }
 }
 
@@ -98,14 +96,14 @@ fn backward_ops(kind: ModelKind, k: usize) -> Vec<Coll> {
             Coll::Params(k * k),
         ],
         ModelKind::Agnn => vec![
-            Coll::BcastBlock,        // G_i
-            Coll::AllreduceVec,      // softmax row dots
+            Coll::BcastBlock,         // G_i
+            Coll::AllreduceVec,       // softmax row dots
             Coll::ReduceRedistribute, // P H
-            Coll::AllreduceCol,      // Pᵀ H
-            Coll::AllreduceVec,      // row_corr (row team)
-            Coll::BcastVec,          // row_corr_j down the column
-            Coll::AllreduceVec,      // col_corr (column team)
-            Coll::AllreduceCol,      // Ψᵀ G
+            Coll::AllreduceCol,       // Pᵀ H
+            Coll::AllreduceVec,       // row_corr (row team)
+            Coll::BcastVec,           // row_corr_j down the column
+            Coll::AllreduceVec,       // col_corr (column team)
+            Coll::AllreduceCol,       // Ψᵀ G
             Coll::Params(k * k),
             Coll::Params(1),
         ],
@@ -154,7 +152,14 @@ mod tests {
     use atgnn_net::Cluster;
     use atgnn_tensor::{init, Activation};
 
-    fn measure(kind: ModelKind, task: PredictTask, n: usize, k: usize, layers: usize, p: usize) -> u64 {
+    fn measure(
+        kind: ModelKind,
+        task: PredictTask,
+        n: usize,
+        k: usize,
+        layers: usize,
+        p: usize,
+    ) -> u64 {
         let edges: Vec<(u32, u32)> = (0..n as u32)
             .flat_map(|i| (1..6u32).map(move |d| (i, (i + d * 7) % n as u32)))
             .filter(|&(a, b)| a != b)
@@ -188,7 +193,12 @@ mod tests {
     fn prediction_matches_measurement_for_every_model_and_task() {
         let (n, k, layers) = (64usize, 8usize, 2usize);
         for p in [4usize, 16] {
-            for kind in [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat, ModelKind::Gcn] {
+            for kind in [
+                ModelKind::Va,
+                ModelKind::Agnn,
+                ModelKind::Gat,
+                ModelKind::Gcn,
+            ] {
                 for task in [PredictTask::Inference, PredictTask::Training] {
                     let predicted = predict_volume(kind, task, n, k, layers, p, 8);
                     let measured = measure(kind, task, n, k, layers, p) as f64;
@@ -212,7 +222,12 @@ mod tests {
 
     #[test]
     fn training_predicts_more_than_inference() {
-        for kind in [ModelKind::Va, ModelKind::Agnn, ModelKind::Gat, ModelKind::Gcn] {
+        for kind in [
+            ModelKind::Va,
+            ModelKind::Agnn,
+            ModelKind::Gat,
+            ModelKind::Gcn,
+        ] {
             let i = predict_volume(kind, PredictTask::Inference, 4096, 16, 3, 16, 4);
             let t = predict_volume(kind, PredictTask::Training, 4096, 16, 3, 16, 4);
             assert!(t > i, "{kind:?}");
@@ -223,9 +238,8 @@ mod tests {
 
     #[test]
     fn volume_scales_as_inverse_sqrt_p_at_scale() {
-        let v = |p: usize| {
-            predict_volume(ModelKind::Va, PredictTask::Inference, 1 << 20, 16, 1, p, 4)
-        };
+        let v =
+            |p: usize| predict_volume(ModelKind::Va, PredictTask::Inference, 1 << 20, 16, 1, p, 4);
         // Large q: (q−1)/q → 1, so v(p)/v(4p) → 2.
         let ratio = v(1024) / v(4096);
         assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");

@@ -9,10 +9,8 @@
 //! directed pairs (`G_{n,m}`, equivalent in this regime).
 
 use atgnn_sparse::Coo;
+use atgnn_tensor::rng::Rng;
 use atgnn_tensor::Scalar;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
 
 /// Samples `m` distinct directed edges (no self-loops) uniformly at
@@ -22,16 +20,19 @@ use std::collections::HashSet;
 /// Panics if `m` exceeds the number of possible edges.
 pub fn edges<T: Scalar>(n: usize, m: usize, seed: u64) -> Coo<T> {
     let possible = n.saturating_mul(n.saturating_sub(1));
-    assert!(m <= possible, "cannot place {m} edges in a {n}-vertex graph");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    assert!(
+        m <= possible,
+        "cannot place {m} edges in a {n}-vertex graph"
+    );
+    let mut rng = Rng::seed_from_u64(seed);
     let mut seen = HashSet::with_capacity(m * 2);
     let mut list = Vec::with_capacity(m);
     // Rejection sampling is efficient while m ≪ n²; the densest paper
     // configuration is ρ = 1%, far below the threshold where Floyd's
     // algorithm would be needed.
     while list.len() < m {
-        let r = rng.gen_range(0..n) as u32;
-        let c = rng.gen_range(0..n) as u32;
+        let r = rng.gen_index(n) as u32;
+        let c = rng.gen_index(n) as u32;
         if r != c && seen.insert((r, c)) {
             list.push((r, c));
         }
@@ -42,11 +43,11 @@ pub fn edges<T: Scalar>(n: usize, m: usize, seed: u64) -> Coo<T> {
 /// `G_{n,q}`: every directed edge independently with probability `q`
 /// (used by the theory tests, where `q` is the natural parameter).
 pub fn gnp<T: Scalar>(n: usize, q: f64, seed: u64) -> Coo<T> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut list = Vec::new();
     for r in 0..n as u32 {
         for c in 0..n as u32 {
-            if r != c && rng.gen::<f64>() < q {
+            if r != c && rng.next_f64() < q {
                 list.push((r, c));
             }
         }

@@ -74,44 +74,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn round_trip() {
-        let coo = Coo::from_triplets(
-            5,
-            7,
-            vec![(0, 6), (4, 0), (2, 3)],
-            vec![1.5, -2.0, 0.25],
-        );
+    fn round_trip() -> io::Result<()> {
+        let coo = Coo::from_triplets(5, 7, vec![(0, 6), (4, 0), (2, 3)], vec![1.5, -2.0, 0.25]);
         let dir = std::env::temp_dir().join("atgnn_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("roundtrip.coo");
-        save_coo(&coo, &path).unwrap();
-        let back: Coo<f64> = load_coo(&path).unwrap();
+        save_coo(&coo, &path)?;
+        let back: Coo<f64> = load_coo(&path)?;
         assert_eq!(back.rows(), 5);
         assert_eq!(back.cols(), 7);
         assert_eq!(back.entries, coo.entries);
         assert_eq!(back.values, coo.values);
         std::fs::remove_file(path).ok();
+        Ok(())
     }
 
     #[test]
-    fn rejects_garbage() {
+    fn rejects_garbage() -> io::Result<()> {
         let dir = std::env::temp_dir().join("atgnn_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("garbage.coo");
-        std::fs::write(&path, b"definitely not a coo file").unwrap();
+        std::fs::write(&path, b"definitely not a coo file")?;
         assert!(load_coo::<f64>(&path).is_err());
         std::fs::remove_file(path).ok();
+        Ok(())
     }
 
     #[test]
-    fn f32_values_survive_via_f64() {
+    fn f32_values_survive_via_f64() -> io::Result<()> {
         let coo = Coo::<f32>::from_triplets(2, 2, vec![(0, 1)], vec![0.125]);
         let dir = std::env::temp_dir().join("atgnn_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("f32.coo");
-        save_coo(&coo, &path).unwrap();
-        let back: Coo<f32> = load_coo(&path).unwrap();
+        save_coo(&coo, &path)?;
+        let back: Coo<f32> = load_coo(&path)?;
         assert_eq!(back.values, vec![0.125f32]);
         std::fs::remove_file(path).ok();
+        Ok(())
     }
 }

@@ -13,10 +13,8 @@
 //! down to the nearest number that is a power of two."
 
 use atgnn_sparse::Coo;
+use atgnn_tensor::rng::Rng;
 use atgnn_tensor::Scalar;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Graph500 initiator probabilities.
 pub const A: f64 = 0.57;
@@ -42,14 +40,14 @@ pub fn round_down_pow2(n: usize) -> usize {
 pub fn edges<T: Scalar>(vertices: usize, edges: usize, seed: u64) -> Coo<T> {
     let n = round_down_pow2(vertices);
     let scale = n.trailing_zeros();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut list = Vec::with_capacity(edges);
     for _ in 0..edges {
         let (mut r, mut c) = (0usize, 0usize);
         for _ in 0..scale {
             r <<= 1;
             c <<= 1;
-            let p: f64 = rng.gen();
+            let p: f64 = rng.next_f64();
             if p < A {
                 // top-left quadrant
             } else if p < A + B {
@@ -67,10 +65,7 @@ pub fn edges<T: Scalar>(vertices: usize, edges: usize, seed: u64) -> Coo<T> {
     // structural information; this also spreads the heavy vertices across
     // the distributed partition blocks.
     let mut perm: Vec<u32> = (0..n as u32).collect();
-    for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
-        perm.swap(i, j);
-    }
+    rng.shuffle(&mut perm);
     for e in &mut list {
         *e = (perm[e.0 as usize], perm[e.1 as usize]);
     }

@@ -24,10 +24,8 @@ pub mod kronecker;
 pub mod stats;
 
 use atgnn_sparse::{Coo, Csr};
+use atgnn_tensor::rng::Rng;
 use atgnn_tensor::Scalar;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Connects every isolated vertex to a pseudo-random other vertex, so each
 /// vertex has degree ≥ 1 (the artifact's Kronecker post-processing step).
@@ -42,10 +40,10 @@ pub fn ensure_min_degree<T: Scalar>(coo: &mut Coo<T>, seed: u64) {
         degree[r as usize] += 1;
         degree[c as usize] += 1;
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed_1e55);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5eed_1e55);
     for v in 0..n {
         if degree[v] == 0 {
-            let mut u = rng.gen_range(0..n - 1);
+            let mut u = rng.gen_index(n - 1);
             if u >= v {
                 u += 1;
             }

@@ -46,7 +46,11 @@ impl DegreeStats {
                 / n as f64
         };
         let cv = if mean == 0.0 { 0.0 } else { var.sqrt() / mean };
-        let density = if n == 0 { 0.0 } else { m as f64 / (n as f64 * n as f64) };
+        let density = if n == 0 {
+            0.0
+        } else {
+            m as f64 / (n as f64 * n as f64)
+        };
         Self {
             n,
             m,

@@ -3,7 +3,7 @@
 
 use crate::comm::{Comm, Msg};
 use crate::stats::{CommStats, Counters};
-use crossbeam::channel::unbounded;
+use std::sync::mpsc::channel;
 use std::sync::{Arc, Barrier};
 
 /// A simulated cluster of `p` ranks.
@@ -26,13 +26,13 @@ impl Cluster {
         let counters = Arc::new(Counters::new(p));
         let barrier = Arc::new(Barrier::new(p));
         // One channel per (src, dst) pair; receivers handed to dst.
-        let mut senders: Vec<Vec<crossbeam::channel::Sender<Msg>>> = Vec::with_capacity(p);
-        let mut receivers_by_dst: Vec<Vec<Option<crossbeam::channel::Receiver<Msg>>>> =
+        let mut senders: Vec<Vec<std::sync::mpsc::Sender<Msg>>> = Vec::with_capacity(p);
+        let mut receivers_by_dst: Vec<Vec<Option<std::sync::mpsc::Receiver<Msg>>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         for src in 0..p {
             let mut row = Vec::with_capacity(p);
             for (dst, slots) in receivers_by_dst.iter_mut().enumerate() {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 row.push(tx);
                 slots[src] = Some(rx);
                 let _ = dst;
@@ -254,8 +254,11 @@ mod tests {
                 for len in [0usize, 1, 3, 17] {
                     let (results, _) = Cluster::run(p, |comm| {
                         let members: Vec<usize> = (0..comm.size()).collect();
-                        let data = (comm.rank() == root)
-                            .then(|| (0..len as u32).map(|i| i * 3 + root as u32).collect::<Vec<u32>>());
+                        let data = (comm.rank() == root).then(|| {
+                            (0..len as u32)
+                                .map(|i| i * 3 + root as u32)
+                                .collect::<Vec<u32>>()
+                        });
                         comm.bcast_vec_group(&members, root, data, len, 11)
                     });
                     let expect: Vec<u32> = (0..len as u32).map(|i| i * 3 + root as u32).collect();
@@ -285,13 +288,9 @@ mod tests {
         for root in 0..4 {
             let (results, _) = Cluster::run(4, |comm| {
                 let members: Vec<usize> = (0..comm.size()).collect();
-                comm.reduce_vec_group(
-                    &members,
-                    root,
-                    vec![comm.rank() as f64; 10],
-                    17,
-                    |a, b| a + b,
-                )
+                comm.reduce_vec_group(&members, root, vec![comm.rank() as f64; 10], 17, |a, b| {
+                    a + b
+                })
             });
             for (r, res) in results.iter().enumerate() {
                 if r == root {

@@ -14,9 +14,9 @@
 
 use crate::stats::Counters;
 use crate::wire::Wire;
-use crossbeam::channel::{Receiver, Sender};
 use std::any::Any;
 use std::cell::RefCell;
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
 pub(crate) struct Msg {
@@ -284,12 +284,12 @@ impl Comm {
             let data = data.expect("broadcast root must supply data");
             assert_eq!(data.len(), len, "broadcast length mismatch at root");
             let mut own = Vec::new();
-            for m in 0..g {
+            for (m, &member) in members.iter().enumerate() {
                 let (lo, hi) = Self::chunk_bounds(len, g, m);
                 if m == root_idx {
                     own = data[lo..hi].to_vec();
                 } else {
-                    self.send(members[m], tag, data[lo..hi].to_vec());
+                    self.send(member, tag, data[lo..hi].to_vec());
                 }
             }
             own

@@ -16,10 +16,8 @@
 //! reasonable α, β preserve them — the harness also reports the raw
 //! measured volumes so readers can re-project.
 
-use serde::Serialize;
-
 /// Interconnect and node-speed constants for time projection.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MachineModel {
     /// Per-message latency α in seconds.
     pub latency: f64,

@@ -6,9 +6,9 @@
 //! [`CommStats::max_rank_bytes`]: "the maximum amount of words sent by
 //! any processor is the communication volume" (paper Section 7).
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Shared, concurrently-updated counters (one slot per rank).
 pub(crate) struct Counters {
@@ -31,7 +31,9 @@ impl Counters {
     pub fn record_send(&self, rank: usize, bytes: usize, phase: &str) {
         self.bytes[rank].fetch_add(bytes as u64, Ordering::Relaxed);
         self.messages[rank].fetch_add(1, Ordering::Relaxed);
-        let mut map = self.phase_bytes[rank].lock();
+        let mut map = self.phase_bytes[rank]
+            .lock()
+            .expect("phase-bytes mutex poisoned");
         *map.entry(phase.to_string()).or_insert(0) += bytes as u64;
     }
 
@@ -41,14 +43,24 @@ impl Counters {
 
     pub fn snapshot(&self) -> CommStats {
         let p = self.bytes.len();
-        let per_rank_bytes: Vec<u64> = self.bytes.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let per_rank_messages: Vec<u64> =
-            self.messages.iter().map(|m| m.load(Ordering::Relaxed)).collect();
-        let per_rank_supersteps: Vec<u64> =
-            self.supersteps.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+        let per_rank_bytes: Vec<u64> = self
+            .bytes
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let per_rank_messages: Vec<u64> = self
+            .messages
+            .iter()
+            .map(|m| m.load(Ordering::Relaxed))
+            .collect();
+        let per_rank_supersteps: Vec<u64> = self
+            .supersteps
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect();
         let mut phases: BTreeMap<String, u64> = BTreeMap::new();
         for slot in &self.phase_bytes {
-            for (k, v) in slot.lock().iter() {
+            for (k, v) in slot.lock().expect("phase-bytes mutex poisoned").iter() {
                 *phases.entry(k.clone()).or_insert(0) += v;
             }
         }

@@ -40,7 +40,11 @@ impl<T: Scalar> Coo<T> {
         entries: Vec<(u32, u32)>,
         values: Vec<T>,
     ) -> Self {
-        assert_eq!(entries.len(), values.len(), "triplet arrays differ in length");
+        assert_eq!(
+            entries.len(),
+            values.len(),
+            "triplet arrays differ in length"
+        );
         for &(r, c) in &entries {
             assert!(
                 (r as usize) < rows && (c as usize) < cols,
@@ -106,12 +110,14 @@ impl<T: Scalar> Coo<T> {
         for i in perm {
             let e = self.entries[i];
             let v = self.values[i];
-            if entries.last() == Some(&e) {
-                let last = values.last_mut().unwrap();
-                *last = merge(*last, v);
-            } else {
-                entries.push(e);
-                values.push(v);
+            // entries and values grow in lockstep, so a duplicate entry
+            // always has a value to merge into.
+            match values.last_mut() {
+                Some(last) if entries.last() == Some(&e) => *last = merge(*last, v),
+                _ => {
+                    entries.push(e);
+                    values.push(v);
+                }
             }
         }
         self.entries = entries;
@@ -131,7 +137,7 @@ impl<T: Scalar> Coo<T> {
             .collect();
         let n = extra.len();
         self.entries.extend(extra);
-        self.values.extend(std::iter::repeat(T::one()).take(n));
+        self.values.extend(std::iter::repeat_n(T::one(), n));
         self.dedup_binary();
     }
 
@@ -201,10 +207,7 @@ mod tests {
     fn symmetrize_adds_reverse_edges() {
         let mut m = Coo::<f64>::from_edges(3, 3, vec![(0, 1), (1, 2), (2, 2)]);
         m.symmetrize_binary();
-        assert_eq!(
-            m.entries,
-            vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 2)]
-        );
+        assert_eq!(m.entries, vec![(0, 1), (1, 0), (1, 2), (2, 1), (2, 2)]);
     }
 
     #[test]

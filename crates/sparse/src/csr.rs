@@ -58,12 +58,17 @@ impl<T: Scalar> Csr<T> {
             }
             rowbuf.sort_unstable_by_key(|&(c, _)| c);
             for &(c, v) in rowbuf.iter() {
-                if out_indices.len() > out_indptr[r] && *out_indices.last().unwrap() == c {
-                    let last = out_values.last_mut().unwrap();
-                    *last += v;
-                } else {
-                    out_indices.push(c);
-                    out_values.push(v);
+                // Duplicate within this row: fold into the entry just pushed.
+                match out_values.last_mut() {
+                    Some(last)
+                        if out_indices.len() > out_indptr[r] && out_indices.last() == Some(&c) =>
+                    {
+                        *last += v;
+                    }
+                    _ => {
+                        out_indices.push(c);
+                        out_values.push(v);
+                    }
                 }
             }
             out_indptr[r + 1] = out_indices.len();
@@ -82,10 +87,20 @@ impl<T: Scalar> Csr<T> {
     ///
     /// # Panics
     /// Panics if the arrays are inconsistent.
-    pub fn from_raw(rows: usize, cols: usize, indptr: Vec<usize>, indices: Vec<u32>, values: Vec<T>) -> Self {
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<T>,
+    ) -> Self {
         assert_eq!(indptr.len(), rows + 1, "indptr length must be rows+1");
         assert_eq!(indices.len(), values.len(), "indices/values mismatch");
-        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr end mismatch");
+        assert_eq!(
+            *indptr.last().unwrap_or(&0),
+            indices.len(),
+            "indptr end mismatch"
+        );
         for w in indptr.windows(2) {
             assert!(w[0] <= w[1], "indptr must be non-decreasing");
         }

@@ -78,12 +78,7 @@ pub fn agnn_scores_block<T: Scalar>(
 /// applies the LeakyReLU in the same pass, returning
 /// `(E = A ⊙ σ(C), C_pattern)` — the pre-activation values are kept for
 /// the backward pass (`σ'(C)`).
-pub fn gat_scores<T: Scalar>(
-    a: &Csr<T>,
-    u: &[T],
-    v: &[T],
-    slope: f64,
-) -> (Csr<T>, Csr<T>) {
+pub fn gat_scores<T: Scalar>(a: &Csr<T>, u: &[T], v: &[T], slope: f64) -> (Csr<T>, Csr<T>) {
     assert_eq!(a.rows(), u.len(), "gat_scores: u length mismatch");
     assert_eq!(a.cols(), v.len(), "gat_scores: v length mismatch");
     let act = Activation::LeakyRelu(slope);
@@ -127,7 +122,11 @@ pub fn unfused_agnn_scores<T: Scalar>(a: &Csr<T>, h: &Dense<T>, beta: T) -> Csr<
     let mut hx = gemm::matmul_nt(h, h);
     let nn = blocks::outer(&norms, &norms);
     for (x, &d) in hx.as_mut_slice().iter_mut().zip(nn.as_slice()) {
-        *x = if d == T::zero() { T::zero() } else { beta * *x / d };
+        *x = if d == T::zero() {
+            T::zero()
+        } else {
+            beta * *x / d
+        };
     }
     mask_dense(a, &hx)
 }

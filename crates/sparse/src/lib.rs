@@ -22,7 +22,7 @@
 //!   `n×n` score matrix `C` is *never* instantiated; each fused kernel
 //!   iterates the non-zeros of the sparse sampler and evaluates the virtual
 //!   entries on the fly (the CUDA grid-stride loop of the paper maps to a
-//!   rayon loop over CSR rows).
+//!   parallel loop over CSR rows).
 //! * [`norm`] — adjacency preprocessing: self-loops, symmetric GCN
 //!   normalization, row normalization.
 
@@ -37,4 +37,4 @@ pub mod spmm;
 
 pub use coo::Coo;
 pub use csr::Csr;
-pub use semiring::{Average, MaxPlus, MinPlus, Real, Semiring};
+pub use semiring::{Average, MaxPlus, MinPlus, Real, Semiring, SemiringKind};

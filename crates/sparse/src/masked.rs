@@ -113,9 +113,8 @@ pub fn row_dots<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Vec<T> {
 pub fn scale_rows<T: Scalar>(x: &Csr<T>, s: &[T]) -> Csr<T> {
     assert_eq!(x.rows(), s.len(), "scale_rows: length mismatch");
     let mut out = x.clone();
-    for r in 0..out.rows() {
+    for (r, &si) in s.iter().enumerate() {
         let (lo, hi) = (out.indptr()[r], out.indptr()[r + 1]);
-        let si = s[r];
         for v in &mut out.values_mut()[lo..hi] {
             *v *= si;
         }
@@ -224,7 +223,12 @@ mod tests {
     #[test]
     fn add_general_unions_patterns() {
         let a = Csr::from_coo(&Coo::from_triplets(2, 2, vec![(0, 1)], vec![1.0]));
-        let b = Csr::from_coo(&Coo::from_triplets(2, 2, vec![(1, 0), (0, 1)], vec![2.0, 3.0]));
+        let b = Csr::from_coo(&Coo::from_triplets(
+            2,
+            2,
+            vec![(1, 0), (0, 1)],
+            vec![2.0, 3.0],
+        ));
         let s = add_general(&a, &b);
         assert_eq!(s.nnz(), 2);
         assert_eq!(s.get(0, 1), 4.0);
@@ -302,9 +306,7 @@ mod tests {
         // d/dE of L = Σ c_ij sm(E)_ij checked against finite differences.
         let e0 = pat();
         let c = e0.map_values(|v| (v * 0.7).tanh());
-        let loss = |e: &Csr<f64>| -> f64 {
-            row_dots(&row_softmax(e), &c).iter().sum::<f64>()
-        };
+        let loss = |e: &Csr<f64>| -> f64 { row_dots(&row_softmax(e), &c).iter().sum::<f64>() };
         let psi = row_softmax(&e0);
         let analytic = row_softmax_backward(&psi, &c);
         let eps = 1e-6;

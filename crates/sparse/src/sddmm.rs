@@ -7,8 +7,7 @@
 //! `A`'s pattern.
 
 use crate::csr::Csr;
-use atgnn_tensor::{gemm, Dense, Scalar};
-use rayon::prelude::*;
+use atgnn_tensor::{gemm, par, Dense, Scalar};
 
 /// Stored entries below which the row loop stays sequential.
 const PAR_THRESHOLD: usize = 4 * 1024;
@@ -70,7 +69,7 @@ pub fn sddmm_with<T: Scalar>(
             slices.push((r, head));
             rest = tail;
         }
-        slices.into_par_iter().for_each(|(r, s)| kernel(r, s));
+        par::for_each_task(slices, |(r, s)| kernel(r, s));
     } else {
         for r in 0..a.rows() {
             kernel(r, &mut values[indptr[r]..indptr[r + 1]]);

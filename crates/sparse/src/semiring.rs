@@ -24,6 +24,55 @@
 
 use atgnn_tensor::Scalar;
 
+/// Plan-time metadata identifying a semiring: which aggregation a DAG
+/// node performs and whether its `op₁` admits an additive inverse.
+///
+/// The global backward formulation (paper Eqs. 11–13) differentiates
+/// through the aggregation as if it were a *linear* map, which requires
+/// `op₁` to be invertible (a group, not just a monoid). The tropical
+/// min/max semirings violate that — their backward is an argmin/argmax
+/// selection, not a matrix product — so the static analyzer flags them
+/// on backward DAGs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SemiringKind {
+    /// `(R, +, ·)` — sum aggregation.
+    Real,
+    /// `(R ∪ {∞}, min, +)` — min aggregation.
+    MinPlus,
+    /// `(R ∪ {−∞}, max, +)` — max aggregation.
+    MaxPlus,
+    /// Weighted-average aggregation (linear in `H` for fixed weights).
+    Average,
+}
+
+impl SemiringKind {
+    /// Human-readable name used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SemiringKind::Real => "real",
+            SemiringKind::MinPlus => "min-plus",
+            SemiringKind::MaxPlus => "max-plus",
+            SemiringKind::Average => "average",
+        }
+    }
+
+    /// Whether `op₁` has an additive inverse (equivalently: whether the
+    /// aggregation is a linear map of `H`, so the global backward pass
+    /// can differentiate through it as a matrix product).
+    pub fn has_additive_inverse(self) -> bool {
+        match self {
+            SemiringKind::Real | SemiringKind::Average => true,
+            SemiringKind::MinPlus | SemiringKind::MaxPlus => false,
+        }
+    }
+}
+
+impl core::fmt::Display for SemiringKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A semiring driving the generalized SpMM `(A ⊕ H)`.
 ///
 /// For each output element the product performs
@@ -41,6 +90,12 @@ pub trait Semiring<T: Scalar>: Sync {
     /// Merges two partial accumulators (`op₁`); required for split/reduce
     /// parallelism and the distributed partial-sum reduction.
     fn merge(&self, into: &mut Self::Acc, other: &Self::Acc);
+    /// Plan-time identity of this semiring, if it is one of the built-in
+    /// aggregations. Custom semirings may return `None`; the analyzer
+    /// then skips the semiring-compatibility rule for them.
+    fn kind(&self) -> Option<SemiringKind> {
+        None
+    }
 }
 
 /// `(R, +, ·, 0, 1)` — the standard sum aggregation.
@@ -64,6 +119,10 @@ impl<T: Scalar> Semiring<T> for Real {
     #[inline(always)]
     fn merge(&self, into: &mut T, other: &T) {
         *into += *other;
+    }
+    #[inline(always)]
+    fn kind(&self) -> Option<SemiringKind> {
+        Some(SemiringKind::Real)
     }
 }
 
@@ -93,6 +152,10 @@ impl<T: Scalar> Semiring<T> for MinPlus {
     fn merge(&self, into: &mut T, other: &T) {
         *into = Scalar::min(*into, *other);
     }
+    #[inline(always)]
+    fn kind(&self) -> Option<SemiringKind> {
+        Some(SemiringKind::MinPlus)
+    }
 }
 
 /// `(R ∪ {−∞}, max, +, −∞, 0)` — max aggregation.
@@ -116,6 +179,10 @@ impl<T: Scalar> Semiring<T> for MaxPlus {
     #[inline(always)]
     fn merge(&self, into: &mut T, other: &T) {
         *into = Scalar::max(*into, *other);
+    }
+    #[inline(always)]
+    fn kind(&self) -> Option<SemiringKind> {
+        Some(SemiringKind::MaxPlus)
     }
 }
 
@@ -149,6 +216,10 @@ impl<T: Scalar> Semiring<T> for Average {
     fn merge(&self, into: &mut (T, T), other: &(T, T)) {
         into.0 += other.0;
         into.1 += other.1;
+    }
+    #[inline(always)]
+    fn kind(&self) -> Option<SemiringKind> {
+        Some(SemiringKind::Average)
     }
 }
 

@@ -1,15 +1,14 @@
 //! Sparse×dense products: `SpMM`, `AᵀH`, and the composed `SpMMM`/`MSpMM`
 //! patterns of the paper's Table 2.
 //!
-//! The CUDA grid-stride loop of the paper's implementation maps to a rayon
-//! loop over CSR rows: each output row is produced by one task from one
-//! contiguous CSR row, so the kernel is embarrassingly parallel and
-//! allocation-free per task.
+//! The CUDA grid-stride loop of the paper's implementation maps to a
+//! parallel loop over CSR rows: each output row is produced by one task
+//! from one contiguous CSR row, so the kernel is embarrassingly parallel
+//! and allocation-free per task.
 
 use crate::csr::Csr;
 use crate::semiring::Semiring;
-use atgnn_tensor::{gemm, Dense, Scalar};
-use rayon::prelude::*;
+use atgnn_tensor::{gemm, par, Dense, Scalar};
 
 /// Result elements below which the row loop stays sequential.
 const PAR_THRESHOLD: usize = 8 * 1024;
@@ -34,7 +33,7 @@ pub fn spmm_semiring<T: Scalar, S: Semiring<T>>(s: &S, a: &Csr<T>, h: &Dense<T>)
     );
     let k = h.cols();
     let mut out = Dense::zeros(a.rows(), k);
-    let kernel = |(i, out_row): (usize, &mut [T])| {
+    let kernel = |i: usize, out_row: &mut [T]| {
         let (cols, vals) = a.row(i);
         let mut acc: Vec<S::Acc> = vec![s.zero(); k];
         for (&j, &av) in cols.iter().zip(vals) {
@@ -48,15 +47,12 @@ pub fn spmm_semiring<T: Scalar, S: Semiring<T>>(s: &S, a: &Csr<T>, h: &Dense<T>)
         }
     };
     if a.rows() * k >= PAR_THRESHOLD {
-        out.as_mut_slice()
-            .par_chunks_mut(k.max(1))
-            .enumerate()
-            .for_each(kernel);
+        par::for_each_chunk(out.as_mut_slice(), k.max(1), kernel);
     } else {
         out.as_mut_slice()
             .chunks_mut(k.max(1))
             .enumerate()
-            .for_each(kernel);
+            .for_each(|(i, c)| kernel(i, c));
     }
     out
 }
@@ -69,7 +65,7 @@ pub fn spmm<T: Scalar>(a: &Csr<T>, h: &Dense<T>) -> Dense<T> {
     assert_eq!(a.cols(), h.rows(), "spmm: inner dimensions differ");
     let k = h.cols();
     let mut out = Dense::zeros(a.rows(), k);
-    let kernel = |(i, out_row): (usize, &mut [T])| {
+    let kernel = |i: usize, out_row: &mut [T]| {
         let (cols, vals) = a.row(i);
         for (&j, &av) in cols.iter().zip(vals) {
             let hrow = h.row(j as usize);
@@ -79,15 +75,12 @@ pub fn spmm<T: Scalar>(a: &Csr<T>, h: &Dense<T>) -> Dense<T> {
         }
     };
     if a.rows() * k >= PAR_THRESHOLD {
-        out.as_mut_slice()
-            .par_chunks_mut(k.max(1))
-            .enumerate()
-            .for_each(kernel);
+        par::for_each_chunk(out.as_mut_slice(), k.max(1), kernel);
     } else {
         out.as_mut_slice()
             .chunks_mut(k.max(1))
             .enumerate()
-            .for_each(kernel);
+            .for_each(|(i, c)| kernel(i, c));
     }
     out
 }
@@ -208,7 +201,9 @@ mod tests {
         let coo = Coo::from_edges(
             n,
             n,
-            (0..n as u32).flat_map(|i| [(i, (i + 1) % n as u32), (i, (i * 7 + 3) % n as u32)]).collect(),
+            (0..n as u32)
+                .flat_map(|i| [(i, (i + 1) % n as u32), (i, (i * 7 + 3) % n as u32)])
+                .collect(),
         );
         let a: Csr<f64> = Csr::from_coo(&coo);
         let h = Dense::from_fn(n, 32, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);

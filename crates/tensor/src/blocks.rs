@@ -134,10 +134,7 @@ mod tests {
     #[test]
     fn rep_is_x_times_ones_row() {
         let x = vec![1.0f64, 2.0, 3.0];
-        let explicit = matmul(
-            &Dense::from_vec(3, 1, x.clone()),
-            &Dense::ones(1, 4),
-        );
+        let explicit = matmul(&Dense::from_vec(3, 1, x.clone()), &Dense::ones(1, 4));
         assert!(rep(&x, 4).max_abs_diff(&explicit) < 1e-15);
     }
 

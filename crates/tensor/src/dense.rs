@@ -167,8 +167,7 @@ impl<T: Scalar> Dense<T> {
     pub fn set_rows(&mut self, start: usize, block: &Self) {
         assert_eq!(block.cols, self.cols, "column count mismatch");
         assert!(start + block.rows <= self.rows, "row slice out of bounds");
-        self.data[start * self.cols..(start + block.rows) * self.cols]
-            .copy_from_slice(&block.data);
+        self.data[start * self.cols..(start + block.rows) * self.cols].copy_from_slice(&block.data);
     }
 
     /// Vertically stacks row blocks into one matrix.

@@ -2,7 +2,8 @@
 //!
 //! GNN workloads multiply tall-skinny feature matrices (`n×k`, `k ≪ n`) by
 //! small parameter matrices (`k×k`), so the kernels here parallelize over
-//! rows with rayon and keep the inner loops over `k` contiguous. Four
+//! row chunks (see [`crate::par`]) and keep the inner loops over `k`
+//! contiguous. Four
 //! variants cover every transposition the forward and backward passes need
 //! without ever materializing a transpose of a tall matrix:
 //!
@@ -13,11 +14,11 @@
 //!   attention vectors `u = H'a₁`.
 
 use crate::dense::Dense;
+use crate::par;
 use crate::scalar::Scalar;
-use rayon::prelude::*;
 
 /// Minimum number of result elements before a product is parallelized.
-/// Below this, rayon's scheduling overhead outweighs the work.
+/// Below this, thread-spawn overhead outweighs the work.
 const PAR_THRESHOLD: usize = 16 * 1024;
 
 /// `C = A · B`.
@@ -38,7 +39,7 @@ pub fn matmul<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
     let n = b.cols();
     let mut out = Dense::zeros(m, n);
     let bs = b.as_slice();
-    let kernel = |(i, row_out): (usize, &mut [T])| {
+    let kernel = |i: usize, row_out: &mut [T]| {
         let arow = a.row(i);
         // i-k-j loop order: the inner j loop streams over a contiguous row
         // of B and of the output, which LLVM auto-vectorizes.
@@ -50,12 +51,12 @@ pub fn matmul<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
         }
     };
     if m * n >= PAR_THRESHOLD {
-        out.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(kernel);
+        par::for_each_chunk(out.as_mut_slice(), n, kernel);
     } else {
-        out.as_mut_slice().chunks_mut(n).enumerate().for_each(kernel);
+        out.as_mut_slice()
+            .chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, c)| kernel(i, c));
     }
     out
 }
@@ -96,19 +97,11 @@ pub fn matmul_tn<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
         acc
     };
     if n * k * j >= PAR_THRESHOLD * 8 {
-        let chunks = rayon::current_num_threads().max(1) * 4;
-        let step = n.div_ceil(chunks).max(1);
-        (0..n)
-            .into_par_iter()
-            .step_by(step)
-            .map(|lo| reduce(lo, (lo + step).min(n)))
-            .reduce(
-                || Dense::zeros(k, j),
-                |mut x, y| {
-                    crate::ops::add_assign(&mut x, &y);
-                    x
-                },
-            )
+        par::map_reduce_ranges(n, reduce, |mut x, y| {
+            crate::ops::add_assign(&mut x, &y);
+            x
+        })
+        .unwrap_or_else(|| Dense::zeros(k, j))
     } else {
         reduce(0, n)
     }
@@ -133,7 +126,7 @@ pub fn matmul_nt<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
     let m = a.rows();
     let n = b.rows();
     let mut out = Dense::zeros(m, n);
-    let kernel = |(i, row_out): (usize, &mut [T])| {
+    let kernel = |i: usize, row_out: &mut [T]| {
         let arow = a.row(i);
         for (jj, o) in row_out.iter_mut().enumerate() {
             let brow = b.row(jj);
@@ -145,12 +138,12 @@ pub fn matmul_nt<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
         }
     };
     if m * n >= PAR_THRESHOLD {
-        out.as_mut_slice()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(kernel);
+        par::for_each_chunk(out.as_mut_slice(), n, kernel);
     } else {
-        out.as_mut_slice().chunks_mut(n).enumerate().for_each(kernel);
+        out.as_mut_slice()
+            .chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, c)| kernel(i, c));
     }
     out
 }

@@ -5,16 +5,13 @@
 //! every experiment and test is bit-reproducible.
 
 use crate::dense::Dense;
+use crate::rng::Rng;
 use crate::scalar::Scalar;
-use rand::distributions::{Distribution, Uniform};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Uniform entries in `[lo, hi)`.
 pub fn uniform<T: Scalar>(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> Dense<T> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let dist = Uniform::new(lo, hi);
-    Dense::from_fn(rows, cols, |_, _| T::from_f64(dist.sample(&mut rng)))
+    let mut rng = Rng::seed_from_u64(seed);
+    Dense::from_fn(rows, cols, |_, _| T::from_f64(rng.uniform(lo, hi)))
 }
 
 /// Glorot/Xavier uniform initialization: `U(-s, s)` with
@@ -28,9 +25,8 @@ pub fn glorot<T: Scalar>(fan_in: usize, fan_out: usize, seed: u64) -> Dense<T> {
 /// A Glorot-scaled parameter *vector* (GAT's attention vectors `a₁`, `a₂`).
 pub fn glorot_vec<T: Scalar>(len: usize, seed: u64) -> Vec<T> {
     let s = (6.0 / (len as f64 + 1.0)).sqrt();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let dist = Uniform::new(-s, s);
-    (0..len).map(|_| T::from_f64(dist.sample(&mut rng))).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..len).map(|_| T::from_f64(rng.uniform(-s, s))).collect()
 }
 
 /// Random feature matrix `H ∈ R^{n×k}` with entries in `[-1, 1)`,

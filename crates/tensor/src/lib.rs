@@ -9,7 +9,7 @@
 //!   `W ∈ R^{k×k}`, and gradients.
 //! * [`gemm`] — dense matrix products (`MM` in the paper's Table 2),
 //!   including the transposed variants needed by the backward passes,
-//!   blocked and parallelized with rayon.
+//!   blocked and parallelized over row chunks via [`par`].
 //! * [`blocks`] — the tensor building blocks of Table 2: replication
 //!   `rep_i(x) = x 1ᵀ`, row summation `sum(X) = X 1`, their composition
 //!   `rs_i(X)`, outer products, row norms, and a numerically stable dense
@@ -18,6 +18,9 @@
 //!   derivatives `σ'`, applied between GNN layers.
 //! * [`init`] — deterministic, seedable random initializers (Glorot/Xavier
 //!   and friends) mirroring the artifact's `--seed` flag.
+//! * [`par`] — scoped-thread fork-join helpers the kernels parallelize
+//!   with; [`rng`] — the self-contained ChaCha8 generator behind every
+//!   seeded random choice in the workspace.
 //!
 //! Everything is generic over [`Scalar`] so the benchmark harness can run in
 //! `f32` (as the paper does) while gradient-checking tests run in `f64`.
@@ -28,6 +31,8 @@ pub mod dense;
 pub mod gemm;
 pub mod init;
 pub mod ops;
+pub mod par;
+pub mod rng;
 pub mod scalar;
 
 pub use activation::Activation;

@@ -4,10 +4,10 @@
 //! formulations, plus the scale/axpy primitives the optimizers use.
 
 use crate::dense::Dense;
+use crate::par;
 use crate::scalar::Scalar;
-use rayon::prelude::*;
 
-/// Threshold (in elements) above which element-wise loops run on rayon.
+/// Threshold (in elements) above which element-wise loops run in parallel.
 const PAR_THRESHOLD: usize = 64 * 1024;
 
 #[inline]
@@ -15,10 +15,7 @@ fn zip_apply<T: Scalar>(a: &mut Dense<T>, b: &Dense<T>, f: impl Fn(&mut T, T) + 
     assert_eq!(a.shape(), b.shape(), "element-wise op: shape mismatch");
     let n = a.len();
     if n >= PAR_THRESHOLD {
-        a.as_mut_slice()
-            .par_iter_mut()
-            .zip(b.as_slice().par_iter())
-            .for_each(|(x, &y)| f(x, y));
+        par::for_each_zip(a.as_mut_slice(), b.as_slice(), |x, &y| f(x, y));
     } else {
         for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
             f(x, y);
@@ -70,7 +67,7 @@ pub fn hadamard<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
 /// `a *= s` (scalar scale).
 pub fn scale_assign<T: Scalar>(a: &mut Dense<T>, s: T) {
     if a.len() >= PAR_THRESHOLD {
-        a.as_mut_slice().par_iter_mut().for_each(|x| *x *= s);
+        par::for_each_mut(a.as_mut_slice(), |x| *x *= s);
     } else {
         for x in a.as_mut_slice() {
             *x *= s;
@@ -93,7 +90,7 @@ pub fn axpy<T: Scalar>(y: &mut Dense<T>, alpha: T, x: &Dense<T>) {
 /// Applies `f` to every element in place.
 pub fn map_assign<T: Scalar>(a: &mut Dense<T>, f: impl Fn(T) -> T + Sync + Send) {
     if a.len() >= PAR_THRESHOLD {
-        a.as_mut_slice().par_iter_mut().for_each(|x| *x = f(*x));
+        par::for_each_mut(a.as_mut_slice(), |x| *x = f(*x));
     } else {
         for x in a.as_mut_slice() {
             *x = f(*x);

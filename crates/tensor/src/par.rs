@@ -1,0 +1,237 @@
+//! Minimal data-parallel helpers built on `std::thread::scope`.
+//!
+//! The kernels in this workspace only ever need a handful of fork-join
+//! shapes: "split a flat buffer into row chunks and process each", "zip two
+//! equal-length buffers", and "map contiguous index ranges and reduce the
+//! partials". Work per element is uniform (dense rows, CSR rows of similar
+//! length), so static partitioning over scoped threads is enough — no work
+//! stealing, no external runtime, no unsafe.
+//!
+//! Every helper degrades to a plain sequential loop when there is a single
+//! hardware thread or not enough work to split.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads to fan out to (hardware parallelism).
+pub fn num_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parallel equivalent of `data.chunks_mut(chunk).enumerate().for_each(f)`.
+///
+/// `f` receives the global chunk index and the chunk slice. Chunks are
+/// distributed contiguously over worker threads: each thread owns a run of
+/// whole chunks, so `f` observes exactly the same (index, slice) pairs as
+/// the sequential loop would.
+///
+/// # Panics
+/// Panics if `chunk == 0` while `data` is non-empty.
+pub fn for_each_chunk<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk > 0, "for_each_chunk: chunk size must be positive");
+    let n_chunks = data.len().div_ceil(chunk);
+    let threads = num_threads().min(n_chunks);
+    if threads <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let per_thread = n_chunks.div_ceil(threads);
+    let f = &f;
+    thread::scope(|s| {
+        let mut rest = data;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = (per_thread * chunk).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let first = base;
+            base += per_thread;
+            s.spawn(move || {
+                for (i, c) in head.chunks_mut(chunk).enumerate() {
+                    f(first + i, c);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel equivalent of `data.iter_mut().for_each(f)`.
+pub fn for_each_mut<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    let chunk = data.len().div_ceil(num_threads()).max(1);
+    for_each_chunk(data, chunk, |_, c| c.iter_mut().for_each(&f));
+}
+
+/// Parallel equivalent of
+/// `a.iter_mut().zip(b).for_each(|(x, y)| f(x, y))`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn for_each_zip<T, U, F>(a: &mut [T], b: &[U], f: F)
+where
+    T: Send,
+    U: Sync,
+    F: Fn(&mut T, &U) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "for_each_zip: length mismatch");
+    if a.is_empty() {
+        return;
+    }
+    let chunk = a.len().div_ceil(num_threads()).max(1);
+    for_each_chunk(a, chunk, |ci, c| {
+        let lo = ci * chunk;
+        let len = c.len();
+        for (x, y) in c.iter_mut().zip(&b[lo..lo + len]) {
+            f(x, y);
+        }
+    });
+}
+
+/// Run one closure per owned task, distributing tasks over worker threads.
+///
+/// Used when the work items carry mutable borrows carved out of a larger
+/// buffer (e.g. per-row value slices of a CSR matrix).
+pub fn for_each_task<T, F>(tasks: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    if tasks.is_empty() {
+        return;
+    }
+    let threads = num_threads().min(tasks.len());
+    if threads <= 1 {
+        tasks.into_iter().for_each(f);
+        return;
+    }
+    let per_thread = tasks.len().div_ceil(threads);
+    let f = &f;
+    thread::scope(|s| {
+        let mut tasks = tasks;
+        while !tasks.is_empty() {
+            let split = tasks.len().saturating_sub(per_thread);
+            let batch = tasks.split_off(split);
+            s.spawn(move || batch.into_iter().for_each(f));
+        }
+    });
+}
+
+/// Map contiguous index ranges covering `0..n` and reduce the partial
+/// results: `add(map(0, a), add(map(a, b), ...))`. Returns `None` when
+/// `n == 0`.
+///
+/// The reduction order is deterministic (ranges are folded left to right
+/// in index order), so floating-point results are reproducible across runs
+/// on the same machine.
+pub fn map_reduce_ranges<R, M, A>(n: usize, map: M, add: A) -> Option<R>
+where
+    R: Send,
+    M: Fn(usize, usize) -> R + Sync,
+    A: Fn(R, R) -> R,
+{
+    if n == 0 {
+        return None;
+    }
+    let threads = num_threads().min(n);
+    if threads <= 1 {
+        return Some(map(0, n));
+    }
+    let step = n.div_ceil(threads);
+    let map = &map;
+    let partials: Vec<R> = thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .step_by(step)
+            .map(|lo| s.spawn(move || map(lo, (lo + step).min(n))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    });
+    let mut it = partials.into_iter();
+    let first = it.next()?;
+    Some(it.fold(first, add))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_matches_sequential() {
+        for len in [0usize, 1, 7, 64, 1000, 4097] {
+            for chunk in [1usize, 3, 64] {
+                let mut par_data: Vec<u64> = (0..len as u64).collect();
+                let mut seq_data = par_data.clone();
+                for_each_chunk(&mut par_data, chunk, |i, c| {
+                    for v in c.iter_mut() {
+                        *v = v.wrapping_mul(3).wrapping_add(i as u64);
+                    }
+                });
+                seq_data.chunks_mut(chunk).enumerate().for_each(|(i, c)| {
+                    for v in c.iter_mut() {
+                        *v = v.wrapping_mul(3).wrapping_add(i as u64);
+                    }
+                });
+                assert_eq!(par_data, seq_data, "len={len} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn zip_applies_pairwise() {
+        let mut a: Vec<i64> = (0..5000).collect();
+        let b: Vec<i64> = (0..5000).map(|v| v * 2).collect();
+        for_each_zip(&mut a, &b, |x, y| *x += *y);
+        assert!(a.iter().enumerate().all(|(i, &v)| v == 3 * i as i64));
+    }
+
+    #[test]
+    fn tasks_all_run_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..513).map(|_| AtomicUsize::new(0)).collect();
+        let tasks: Vec<usize> = (0..hits.len()).collect();
+        for_each_task(tasks, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn reduce_sums_ranges() {
+        let total = map_reduce_ranges(10_001, |lo, hi| (lo..hi).sum::<usize>(), |a, b| a + b);
+        assert_eq!(total, Some(10_001 * 10_000 / 2));
+        assert_eq!(
+            map_reduce_ranges(0, |lo, hi| (lo..hi).sum::<usize>(), |a, b| a + b),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let mut empty: Vec<u8> = Vec::new();
+        for_each_chunk(&mut empty, 4, |_, _| panic!("must not run"));
+        for_each_mut(&mut empty, |_| panic!("must not run"));
+        for_each_task(Vec::<u8>::new(), |_| panic!("must not run"));
+        let mut one = [7u8];
+        for_each_mut(&mut one, |v| *v += 1);
+        assert_eq!(one[0], 8);
+    }
+}

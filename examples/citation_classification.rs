@@ -16,22 +16,20 @@ use atgnn::loss::SoftmaxCrossEntropy;
 use atgnn::optimizer::Adam;
 use atgnn::{GnnModel, ModelKind};
 use atgnn_sparse::{Coo, Csr};
+use atgnn_tensor::rng::Rng;
 use atgnn_tensor::{Activation, Dense};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 const COMMUNITIES: usize = 4;
 const N: usize = 800;
 const FEATURES: usize = 32;
 
-fn stochastic_block_model(rng: &mut ChaCha8Rng) -> (Csr<f64>, Vec<usize>) {
+fn stochastic_block_model(rng: &mut Rng) -> (Csr<f64>, Vec<usize>) {
     let labels: Vec<usize> = (0..N).map(|v| v * COMMUNITIES / N).collect();
     let mut coo = Coo::new(N, N);
     for u in 0..N {
         for v in (u + 1)..N {
             let p = if labels[u] == labels[v] { 0.02 } else { 0.001 };
-            if rng.gen::<f64>() < p {
+            if rng.next_f64() < p {
                 coo.push(u as u32, v as u32, 1.0);
                 coo.push(v as u32, u as u32, 1.0);
             }
@@ -41,15 +39,19 @@ fn stochastic_block_model(rng: &mut ChaCha8Rng) -> (Csr<f64>, Vec<usize>) {
     (Csr::from_coo(&coo), labels)
 }
 
-fn noisy_features(labels: &[usize], rng: &mut ChaCha8Rng) -> Dense<f64> {
+fn noisy_features(labels: &[usize], rng: &mut Rng) -> Dense<f64> {
     Dense::from_fn(N, FEATURES, |v, f| {
-        let signal = if f % COMMUNITIES == labels[v] { 0.8 } else { 0.0 };
-        signal + rng.gen::<f64>() * 1.2 - 0.6
+        let signal = if f % COMMUNITIES == labels[v] {
+            0.8
+        } else {
+            0.0
+        };
+        signal + rng.next_f64() * 1.2 - 0.6
     })
 }
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(2023);
+    let mut rng = Rng::seed_from_u64(2023);
     let (graph, labels) = stochastic_block_model(&mut rng);
     let x = noisy_features(&labels, &mut rng);
     println!(
@@ -59,7 +61,7 @@ fn main() {
 
     // Semi-supervised: only 5% of vertices carry a training label; the
     // rest are the test set.
-    let train_mask: Vec<bool> = (0..N).map(|_| rng.gen::<f64>() < 0.05).collect();
+    let train_mask: Vec<bool> = (0..N).map(|_| rng.next_f64() < 0.05).collect();
     let train_labels: Vec<Option<usize>> = labels
         .iter()
         .zip(&train_mask)
@@ -77,7 +79,12 @@ fn main() {
         train_mask.iter().filter(|&&m| m).count()
     );
 
-    for kind in [ModelKind::Gat, ModelKind::Agnn, ModelKind::Va, ModelKind::Gcn] {
+    for kind in [
+        ModelKind::Gat,
+        ModelKind::Agnn,
+        ModelKind::Va,
+        ModelKind::Gcn,
+    ] {
         let a = GnnModel::<f64>::prepare_adjacency(kind, &graph);
         let mut model =
             GnnModel::<f64>::uniform(kind, &[FEATURES, 16, COMMUNITIES], Activation::Elu, 5);

@@ -48,7 +48,10 @@ fn main() {
             losses
         })
     };
-    println!("global-formulation losses (identical on every rank): {:?}", losses[0]);
+    println!(
+        "global-formulation losses (identical on every rank): {:?}",
+        losses[0]
+    );
     println!("global comm: {gstats}");
     for (phase, bytes) in &gstats.phase_bytes {
         println!("  phase {phase:<16} {bytes} B");

@@ -16,10 +16,8 @@ use atgnn::loss::Loss;
 use atgnn::optimizer::Adam;
 use atgnn::{GnnModel, ModelKind};
 use atgnn_sparse::{Coo, Csr};
+use atgnn_tensor::rng::Rng;
 use atgnn_tensor::{gemm, init, Activation, Dense};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// BCE over edge scores `σ(⟨h_u, h_v⟩)`: positives are held-out true
 /// edges, negatives are sampled non-edges.
@@ -86,7 +84,7 @@ impl Loss<f64> for LinkPredictionLoss {
 }
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     let n = 400;
     // A "protein interaction network": two-level community structure, so
     // that edges are genuinely predictable from the topology.
@@ -94,8 +92,12 @@ fn main() {
     let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
-            let p = if community(u) == community(v) { 0.06 } else { 0.002 };
-            if rng.gen::<f64>() < p {
+            let p = if community(u) == community(v) {
+                0.06
+            } else {
+                0.002
+            };
+            if rng.next_f64() < p {
                 edges.push((u as u32, v as u32));
             }
         }
@@ -114,8 +116,8 @@ fn main() {
     let edge_set: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
     let mut negatives = Vec::new();
     while negatives.len() < positives.len() {
-        let u = rng.gen_range(0..n as u32);
-        let v = rng.gen_range(0..n as u32);
+        let u = rng.gen_index(n) as u32;
+        let v = rng.gen_index(n) as u32;
         if u < v && !edge_set.contains(&(u, v)) {
             negatives.push((u as usize, v as usize));
         }
@@ -135,7 +137,10 @@ fn main() {
     let a = GnnModel::<f64>::prepare_adjacency(ModelKind::Gat, &graph);
     let mut model = GnnModel::<f64>::uniform(ModelKind::Gat, &[16, 32, 16], Activation::Elu, 13);
     let mut opt = Adam::new(0.005);
-    println!("epoch   0: AUC {:.3} (untrained)", loss.auc(&model.inference(&a, &x)));
+    println!(
+        "epoch   0: AUC {:.3} (untrained)",
+        loss.auc(&model.inference(&a, &x))
+    );
     for epoch in 1..=60 {
         let l = model.train_step(&a, &x, &loss, &mut opt);
         if epoch % 15 == 0 {
@@ -145,5 +150,8 @@ fn main() {
     }
     let final_auc = loss.auc(&model.inference(&a, &x));
     println!("final AUC {final_auc:.3} (0.5 = random ranking)");
-    assert!(final_auc > 0.6, "embeddings should rank held-out edges above non-edges");
+    assert!(
+        final_auc > 0.6,
+        "embeddings should rank held-out edges above non-edges"
+    );
 }

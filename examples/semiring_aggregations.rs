@@ -11,8 +11,8 @@
 //! ```
 
 use atgnn::generic::{ComposeOrder, GenericLayer, Phi, Psi};
-use atgnn_sparse::{norm, Average, Csr, MaxPlus, MinPlus, Real};
 use atgnn_graphgen::kronecker;
+use atgnn_sparse::{norm, Average, Csr, MaxPlus, MinPlus, Real};
 use atgnn_tensor::{init, Activation, Dense};
 
 fn main() {
@@ -29,7 +29,10 @@ fn main() {
         order: ComposeOrder::UpdateThenAggregate,
         activation: Activation::Relu,
     };
-    report("sum (real semiring)", &sum_layer.forward(&norm::sym_normalize(&a), &h));
+    report(
+        "sum (real semiring)",
+        &sum_layer.forward(&norm::sym_normalize(&a), &h),
+    );
 
     // Min/max aggregation over the tropical semirings: the adjacency
     // values become the tropical multiplicative identity (0) first.
@@ -74,7 +77,9 @@ fn main() {
 
     // A custom Ψ closure: degree-weighted uniform attention.
     let custom = GenericLayer {
-        psi: Psi::Custom(Box::new(|a: &Csr<f64>, _h: &Dense<f64>| norm::row_normalize(a))),
+        psi: Psi::Custom(Box::new(|a: &Csr<f64>, _h: &Dense<f64>| {
+            norm::row_normalize(a)
+        })),
         aggregate: Real,
         phi: Phi::Mlp(vec![
             (init::glorot(8, 16, 7), Activation::Relu),
@@ -111,5 +116,9 @@ fn main() {
 
 fn report(name: &str, out: &Dense<f64>) {
     let mean = atgnn_tensor::ops::total_sum(out) / out.len() as f64;
-    println!("{name:<28} -> {}x{} output, mean {mean:+.4}", out.rows(), out.cols());
+    println!(
+        "{name:<28} -> {}x{} output, mean {mean:+.4}",
+        out.rows(),
+        out.cols()
+    );
 }

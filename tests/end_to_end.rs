@@ -103,12 +103,15 @@ fn distributed_training_converges_like_sequential() {
         let mut seq = GnnModel::<f64>::uniform(kind, &[4, 4, 4], Activation::Tanh, 23);
         let loss = Mse::new(target.clone());
         let mut opt = Sgd::new(0.03);
-        let seq_losses: Vec<f64> = (0..4).map(|_| seq.train_step(&prepared, &x, &loss, &mut opt)).collect();
+        let seq_losses: Vec<f64> = (0..4)
+            .map(|_| seq.train_step(&prepared, &x, &loss, &mut opt))
+            .collect();
         let (dist_losses, _) = {
             let (prepared, x, target) = (prepared.clone(), x.clone(), target.clone());
             Cluster::run(4, move |comm| {
                 let ctx = DistContext::new(&comm, &prepared);
-                let mut model = DistGnnModel::<f64>::uniform(kind, &[4, 4, 4], Activation::Tanh, 23);
+                let mut model =
+                    DistGnnModel::<f64>::uniform(kind, &[4, 4, 4], Activation::Tanh, 23);
                 let (c0, c1) = ctx.col_range();
                 let x_j = x.slice_rows(c0, c1 - c0);
                 let t_j = target.slice_rows(c0, c1 - c0);
@@ -131,22 +134,20 @@ fn attention_beats_convolution_on_attention_friendly_task() {
     // its single "strong" neighbor (feature-similar), among many noise
     // neighbors. GAT can learn to focus; a fixed-coefficient GCN cannot.
     use atgnn_sparse::{Coo, Csr};
-    use rand::Rng;
-    use rand::SeedableRng;
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+    let mut rng = atgnn_tensor::rng::Rng::seed_from_u64(31);
     let n = 120;
     let classes = 2;
     let k = 8;
     let mut x = init::features::<f64>(n, k, 33);
     let mut labels = vec![0usize; n];
     let mut coo = Coo::<f64>::new(n, n);
-    for v in 0..n {
-        labels[v] = rng.gen_range(0..classes);
+    for (v, label) in labels.iter_mut().enumerate() {
+        *label = rng.gen_index(classes);
         // A strong feature marker for the class in the first coordinate.
-        x.row_mut(v)[0] = labels[v] as f64 * 2.0 - 1.0;
+        x.row_mut(v)[0] = *label as f64 * 2.0 - 1.0;
         // Noise edges.
         for _ in 0..6 {
-            let u = rng.gen_range(0..n);
+            let u = rng.gen_index(n);
             if u != v {
                 coo.push(v as u32, u as u32, 1.0);
             }
@@ -204,7 +205,10 @@ fn deep_and_wide_configurations_stay_finite() {
             let prepared = GnnModel::<f64>::prepare_adjacency(kind, &a);
             let model = GnnModel::<f64>::uniform(kind, &dims, Activation::Relu, 51);
             let out = model.inference(&prepared, &x);
-            assert!(out.as_slice().iter().all(|v| v.is_finite()), "{kind:?} {dims:?}");
+            assert!(
+                out.as_slice().iter().all(|v| v.is_finite()),
+                "{kind:?} {dims:?}"
+            );
         }
     }
 }
@@ -213,7 +217,13 @@ fn deep_and_wide_configurations_stay_finite() {
 fn minibatch_standin_matches_paper_batching() {
     use atgnn_baseline::minibatch;
     let a = kronecker::adjacency::<f64>(512, 4096, 53);
-    let b = minibatch::sample_batch(&a, minibatch::PAPER_BATCH_SIZE, 3, minibatch::DEFAULT_FANOUT, 55);
+    let b = minibatch::sample_batch(
+        &a,
+        minibatch::PAPER_BATCH_SIZE,
+        3,
+        minibatch::DEFAULT_FANOUT,
+        55,
+    );
     // All 512 vertices fit in one 16k batch (the paper: a batch processes
     // "many orders of magnitude fewer vertices" only on large graphs).
     assert_eq!(b.targets, 512);
@@ -256,7 +266,8 @@ fn gradient_allreduce_keeps_replicas_identical() {
     let target = init::features::<f64>(n, 4, 73);
     let (outs, _) = Cluster::run(4, move |comm| {
         let ctx = DistContext::new(&comm, &a);
-        let mut model = DistGnnModel::<f64>::uniform(ModelKind::Agnn, &[4, 4], Activation::Tanh, 75);
+        let mut model =
+            DistGnnModel::<f64>::uniform(ModelKind::Agnn, &[4, 4], Activation::Tanh, 75);
         let (c0, c1) = ctx.col_range();
         let x_j = x.slice_rows(c0, c1 - c0);
         let t_j = target.slice_rows(c0, c1 - c0);
@@ -273,7 +284,10 @@ fn gradient_allreduce_keeps_replicas_identical() {
             let (ja, va) = &outs[a_rank];
             let (jb, vb) = &outs[b_rank];
             if ja == jb {
-                assert_eq!(va, vb, "replicas diverged between ranks {a_rank} and {b_rank}");
+                assert_eq!(
+                    va, vb,
+                    "replicas diverged between ranks {a_rank} and {b_rank}"
+                );
             }
         }
     }
@@ -293,7 +307,8 @@ fn halo_backward_uses_less_bandwidth_than_two_gathers_on_sparse_graphs() {
         let (_, stats) = Cluster::run(4, move |comm| {
             let part = Partition1d { n, p: comm.size() };
             let plan = HaloPlan::build(&a, part, comm.rank());
-            let model = LocalDistModel::<f32>::uniform(ModelKind::Gat, &[8, 8], Activation::Relu, 83);
+            let model =
+                LocalDistModel::<f32>::uniform(ModelKind::Gat, &[8, 8], Activation::Relu, 83);
             let (lo, hi) = part.bounds(comm.rank());
             let x_own = x.slice_rows(lo, hi - lo);
             if train {
@@ -309,5 +324,8 @@ fn halo_backward_uses_less_bandwidth_than_two_gathers_on_sparse_graphs() {
     let inf = run(false);
     let tr = run(true);
     assert!(tr > inf, "training must move more than inference");
-    assert!(tr < 6 * inf, "training volume implausibly high: {tr} vs {inf}");
+    assert!(
+        tr < 6 * inf,
+        "training volume implausibly high: {tr} vs {inf}"
+    );
 }

@@ -105,9 +105,34 @@ fn dag_analysis_certifies_no_materialization_for_every_model() {
         Dag::agnn_forward(),
         Dag::gat_forward(),
         Dag::va_backward(),
+        Dag::agnn_backward(),
+        Dag::gat_backward(),
     ] {
-        assert!(!dag.virtual_nodes().is_empty(), "models have virtual tensors");
-        assert!(dag.all_virtual_fused(), "a virtual tensor would be materialized");
+        assert!(
+            !dag.virtual_nodes().is_empty(),
+            "models have virtual tensors"
+        );
+        assert!(
+            dag.all_virtual_fused(),
+            "a virtual tensor would be materialized"
+        );
+        // The full static analyzer agrees: no rule fires on the canned plans.
+        assert!(atgnn::analyze::validate(&dag).is_empty());
+    }
+}
+
+#[test]
+fn static_analyzer_validates_every_model_kind() {
+    for kind in [
+        ModelKind::Va,
+        ModelKind::Agnn,
+        ModelKind::Gat,
+        ModelKind::Gcn,
+    ] {
+        assert!(
+            atgnn::analyze::validate_model(kind).is_empty(),
+            "{kind:?} plan must be clean"
+        );
     }
 }
 
