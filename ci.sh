@@ -10,7 +10,10 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test =="
+echo "== cargo test (ATGNN_THREADS=1: sequential inline execution) =="
+ATGNN_THREADS=1 cargo test -q --workspace
+
+echo "== cargo test (unrestricted thread pool) =="
 cargo test -q --workspace
 
 echo "== lint: no unwrap() in kernel code (crates/sparse, crates/tensor) =="
@@ -31,6 +34,27 @@ for crate in crates/sparse/src crates/tensor/src; do
 done
 if [ "$bad" -ne 0 ]; then
     echo "FAILED: kernel code must not use $pattern — return Result or expect() with context"
+    exit 1
+fi
+
+echo "== lint: kernel crates must use the rt pool, not raw threads =="
+# All kernel parallelism goes through the persistent runtime so thread
+# counts, nnz-balanced scheduling and determinism stay centralized. Only
+# rt.rs itself may spawn (crates/net's simulated cluster is exempt — it
+# models ranks, not kernel parallelism).
+bad=0
+for crate in crates/sparse/src crates/tensor/src; do
+    while IFS= read -r file; do
+        [ "$(basename "$file")" = "rt.rs" ] && continue
+        if grep -nE 'thread::(spawn|scope)|std::thread::(spawn|scope)' "$file" >/dev/null; then
+            echo "forbidden raw thread use outside rt.rs: $file"
+            grep -nE 'thread::(spawn|scope)|std::thread::(spawn|scope)' "$file"
+            bad=1
+        fi
+    done < <(find "$crate" -name '*.rs')
+done
+if [ "$bad" -ne 0 ]; then
+    echo "FAILED: kernel crates must dispatch through atgnn_tensor::rt"
     exit 1
 fi
 

@@ -1,0 +1,146 @@
+//! Thread-scaling sweep for the runtime-backed sparse kernels.
+//!
+//! Measures `spmm` (nnz-balanced gather) and `spmm_t` (partial-buffer
+//! scatter + tree reduction) across thread counts on a uniform
+//! (Erdős–Rényi) and a skewed (Kronecker power-law) graph, and emits
+//! `results/BENCH_kernels.json` with ns/op and the speedup over one
+//! thread.
+//!
+//! The pool size is fixed at process start: if `ATGNN_THREADS` is unset
+//! the sweep requests 8 so the in-process [`rt::set_threads`] sweep has
+//! headroom even when the host reports fewer cores (oversubscribed
+//! threads cannot show real speedup — the JSON records
+//! `hardware_threads` so readers can tell the two situations apart).
+
+use atgnn_bench::measure::time_median;
+use atgnn_bench::scale;
+use atgnn_graphgen::{erdos_renyi, kronecker};
+use atgnn_sparse::{spmm, Csr};
+use atgnn_tensor::{init, rt};
+use std::fmt::Write as _;
+
+struct Sample {
+    threads: usize,
+    ns_per_op: f64,
+    speedup: f64,
+}
+
+fn sweep(f: impl Fn(), threads: &[usize]) -> Vec<Sample> {
+    let mut out: Vec<Sample> = Vec::new();
+    for &t in threads {
+        rt::set_threads(t);
+        let secs = time_median(&f);
+        let base = out.first().map_or(secs, |s| s.ns_per_op / 1e9);
+        out.push(Sample {
+            threads: t,
+            ns_per_op: secs * 1e9,
+            speedup: base / secs,
+        });
+    }
+    out
+}
+
+fn main() {
+    // The pool is sized once, lazily, from ATGNN_THREADS — claim 8 before
+    // the first kernel call so set_threads(1..=8) has room to move.
+    if std::env::var("ATGNN_THREADS").is_err() {
+        std::env::set_var("ATGNN_THREADS", "8");
+    }
+    let hardware = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let threads: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= rt::max_threads())
+        .collect();
+    let n = 8192 * scale();
+    let k = 32;
+    let graphs: Vec<(&str, Csr<f64>)> = vec![
+        ("erdos_renyi", erdos_renyi::adjacency::<f64>(n, n * 16, 5)),
+        ("kronecker", kronecker::adjacency::<f64>(n, n * 16, 7)),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(json, "  \"pool_max_threads\": {},", rt::max_threads());
+    let _ = writeln!(json, "  \"k\": {k},");
+    json.push_str("  \"graphs\": [\n");
+    for (gi, (name, a)) in graphs.iter().enumerate() {
+        let h = init::features::<f64>(a.rows(), k, 11);
+        println!("== {name}: n={} nnz={} k={k} ==", a.rows(), a.nnz());
+        let kernels: Vec<(&str, Vec<Sample>)> = vec![
+            (
+                "spmm",
+                sweep(
+                    || {
+                        std::hint::black_box(spmm::spmm(a, &h));
+                    },
+                    &threads,
+                ),
+            ),
+            (
+                "spmm_t",
+                sweep(
+                    || {
+                        std::hint::black_box(spmm::spmm_t(a, &h));
+                    },
+                    &threads,
+                ),
+            ),
+        ];
+        let _ = writeln!(
+            json,
+            "    {{\"graph\": \"{name}\", \"n\": {}, \"nnz\": {}, \"kernels\": [",
+            a.rows(),
+            a.nnz()
+        );
+        for (ki, (kernel, samples)) in kernels.iter().enumerate() {
+            let _ = writeln!(json, "      {{\"kernel\": \"{kernel}\", \"samples\": [");
+            for (si, s) in samples.iter().enumerate() {
+                println!(
+                    "{kernel:<7} threads={} {:>12.0} ns/op speedup={:.2}x",
+                    s.threads, s.ns_per_op, s.speedup
+                );
+                let _ = writeln!(
+                    json,
+                    "        {{\"threads\": {}, \"ns_per_op\": {:.0}, \"speedup\": {:.3}}}{}",
+                    s.threads,
+                    s.ns_per_op,
+                    s.speedup,
+                    if si + 1 < samples.len() { "," } else { "" }
+                );
+            }
+            let _ = writeln!(
+                json,
+                "      ]}}{}",
+                if ki + 1 < kernels.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    ]}}{}",
+            if gi + 1 < graphs.len() { "," } else { "" }
+        );
+        // Sanity anchor used by the distributed benches: the sweep must
+        // not change the result (determinism across thread counts).
+        rt::set_threads(1);
+        let seq = spmm::spmm_t(a, &h);
+        rt::set_threads(rt::max_threads());
+        let par = spmm::spmm_t(a, &h);
+        assert_eq!(
+            seq.as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            par.as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "{name}: spmm_t not bit-identical across thread counts"
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote results/BENCH_kernels.json");
+}

@@ -18,6 +18,7 @@
 
 use crate::context::DistContext;
 use atgnn_sparse::{fused, masked, sddmm, spmm, Csr};
+use atgnn_tensor::rt::{self, Cost, DisjointSlice};
 use atgnn_tensor::{blocks, gemm, ops, Activation, Dense, Scalar};
 
 /// Per-rank cached intermediates of one distributed layer forward pass.
@@ -273,17 +274,7 @@ pub fn backward_agnn<T: Scalar>(
     // Softmax backward with the row-dot reduction along the grid row.
     let local_dots = masked::row_dots(psi, &d);
     let r = ctx.allreduce_row_vec(local_dots, |a, b| a + b);
-    let ds = {
-        let mut vals = psi.values().to_vec();
-        let dv = d.values();
-        let indptr = psi.indptr().to_vec();
-        for row in 0..psi.rows() {
-            for idx in indptr[row]..indptr[row + 1] {
-                vals[idx] *= dv[idx] - r[row];
-            }
-        }
-        psi.with_values(vals)
-    };
+    let ds = masked::row_softmax_backward_with_dots(psi, &d, &r);
     // ∂β — a scalar all-reduce (deferred to the caller's parameter
     // all-reduce; the local contribution is this block's sum).
     let dbeta: T = masked::row_dots(&ds, cos).into_iter().sum();
@@ -298,18 +289,10 @@ pub fn backward_agnn<T: Scalar>(
             T::one() / x
         }
     };
-    let p = {
-        let mut vals = dcos.values().to_vec();
-        let indptr = dcos.indptr().to_vec();
-        let indices = dcos.indices();
-        for row in 0..dcos.rows() {
-            let ir = inv(n_i[row]);
-            for idx in indptr[row]..indptr[row + 1] {
-                vals[idx] *= ir * inv(n_j[indices[idx] as usize]);
-            }
-        }
-        dcos.with_values(vals)
-    };
+    // P = diag(1/n_i) · dcos · diag(1/n_j) — the cosine denominator.
+    let inv_ni: Vec<T> = n_i.iter().map(|&x| inv(x)).collect();
+    let inv_nj: Vec<T> = n_j.iter().map(|&x| inv(x)).collect();
+    let p = masked::scale_cols(&masked::scale_rows(&dcos, &inv_ni), &inv_nj);
     // dH = P H (row reduce) + Pᵀ H (column all-reduce) − diagonal terms.
     let mut dh = ctx.reduce_rows_redistribute(spmm::spmm(&p, h_j));
     let dh_t = ctx.allreduce_col(spmm::spmm_t(&p, h_i));
@@ -321,14 +304,19 @@ pub fn backward_agnn<T: Scalar>(
     let row_corr_i = ctx.allreduce_row_vec(masked::row_sums(&tc), |a, b| a + b);
     let row_corr_j = ctx.bcast_col_side_vec((ctx.i == ctx.j).then(|| row_corr_i.clone()));
     let col_corr_j = ctx.allreduce_col_vec(masked::col_sums(&tc), |a, b| a + b);
-    for v in 0..dh.rows() {
-        let nj2 = inv(n_j[v]) * inv(n_j[v]);
-        let coef = (row_corr_j[v] + col_corr_j[v]) * nj2;
-        let hrow = h_j.row(v);
-        for (o, &hv) in dh.row_mut(v).iter_mut().zip(hrow) {
-            *o -= coef * hv;
+    let k = dh.cols();
+    let rows = dh.rows();
+    let slots = DisjointSlice::new(dh.as_mut_slice());
+    rt::parallel_for(rows, Cost::Uniform, rows * k >= 16 * 1024, |lo, hi| {
+        // SAFETY: row ranges are disjoint across chunk bodies.
+        let part = unsafe { slots.range_mut(lo * k, hi * k) };
+        for (v, orow) in (lo..hi).zip(part.chunks_mut(k.max(1))) {
+            let coef = (row_corr_j[v] + col_corr_j[v]) * inv_nj[v] * inv_nj[v];
+            for (o, &hv) in orow.iter_mut().zip(h_j.row(v)) {
+                *o -= coef * hv;
+            }
         }
-    }
+    });
     // Product-rule terms of Z = Ψ (H W).
     let dhp_j = ctx.allreduce_col(spmm::spmm_t(psi, &g_i));
     ops::add_assign(&mut dh, &gemm::matmul_nt(&dhp_j, w));
@@ -393,26 +381,10 @@ pub fn backward_gat<T: Scalar>(
     let d = sddmm::sddmm_pattern(&ctx.a_block, &g_i, hp_j);
     // Softmax backward across the full row.
     let r = ctx.allreduce_row_vec(masked::row_dots(psi, &d), |a, b| a + b);
-    let de = {
-        let mut vals = psi.values().to_vec();
-        let dv = d.values();
-        let indptr = psi.indptr().to_vec();
-        for row in 0..psi.rows() {
-            for idx in indptr[row]..indptr[row + 1] {
-                vals[idx] *= dv[idx] - r[row];
-            }
-        }
-        psi.with_values(vals)
-    };
+    let de = masked::row_softmax_backward_with_dots(psi, &d, &r);
     // LeakyReLU backward on the cached pre-activation scores.
     let lrelu = Activation::LeakyRelu(slope);
-    let dc = de.with_values(
-        de.values()
-            .iter()
-            .zip(c_pre.values())
-            .map(|(&x, &c)| x * lrelu.grad(c))
-            .collect(),
-    );
+    let dc = masked::zip_values(&de, c_pre, |x, c| x * lrelu.grad(c));
     // ∂u (row blocking) and ∂v (column blocking).
     let du_i = ctx.allreduce_row_vec(masked::row_sums(&dc), |a, b| a + b);
     let dv_j = ctx.allreduce_col_vec(masked::col_sums(&dc), |a, b| a + b);
@@ -420,12 +392,19 @@ pub fn backward_gat<T: Scalar>(
     let du_j = ctx.bcast_col_side_vec((ctx.i == ctx.j).then(|| du_i.clone()));
     // ∂H' = Ψᵀ G + ∂u a₁ᵀ + ∂v a₂ᵀ.
     let mut dhp_j = ctx.allreduce_col(spmm::spmm_t(psi, &g_i));
-    for v in 0..dhp_j.rows() {
-        let (duv, dvv) = (du_j[v], dv_j[v]);
-        for ((o, &s), &t) in dhp_j.row_mut(v).iter_mut().zip(a_src).zip(a_dst) {
-            *o += duv * s + dvv * t;
+    let k = dhp_j.cols();
+    let rows = dhp_j.rows();
+    let slots = DisjointSlice::new(dhp_j.as_mut_slice());
+    rt::parallel_for(rows, Cost::Uniform, rows * k >= 16 * 1024, |lo, hi| {
+        // SAFETY: row ranges are disjoint across chunk bodies.
+        let part = unsafe { slots.range_mut(lo * k, hi * k) };
+        for (v, orow) in (lo..hi).zip(part.chunks_mut(k.max(1))) {
+            let (duv, dvv) = (du_j[v], dv_j[v]);
+            for ((o, &s), &t) in orow.iter_mut().zip(a_src).zip(a_dst) {
+                *o += duv * s + dvv * t;
+            }
         }
-    }
+    });
     // Parameter gradients from one representative per column team.
     let (dw, da_src, da_dst) = if ctx.i == ctx.j {
         (

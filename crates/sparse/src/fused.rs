@@ -14,7 +14,12 @@
 
 use crate::csr::Csr;
 use crate::sddmm::sddmm_pattern;
+use atgnn_tensor::rt::{self, Cost, DisjointSlice, Tunable};
 use atgnn_tensor::{blocks, gemm, ops, Activation, Dense, Scalar};
+
+/// Stored entries below which the fused score kernels stay sequential.
+/// Override with `ATGNN_FUSED_PAR_THRESHOLD` (`0` forces parallel).
+static PAR_THRESHOLD: Tunable = Tunable::new("ATGNN_FUSED_PAR_THRESHOLD", 4 * 1024);
 
 /// Fused VA scores: `Ψ = A ⊙ (H Hᵀ)` in one pass over `A`'s non-zeros
 /// (the dense `H Hᵀ` is never formed). `A` is assumed binary, so the
@@ -52,19 +57,26 @@ pub fn agnn_scores_block<T: Scalar>(
     let mut cos_values = vec![T::zero(); a.nnz()];
     let indptr = a.indptr();
     let indices = a.indices();
-    for r in 0..a.rows() {
-        let xrow = x.row(r);
-        let nr = nx[r];
-        for idx in indptr[r]..indptr[r + 1] {
-            let c = indices[idx] as usize;
-            let denom = nr * ny[c];
-            cos_values[idx] = if denom == T::zero() {
-                T::zero()
-            } else {
-                gemm::dot(xrow, y.row(c)) / denom
-            };
+    let parallel = a.nnz() >= PAR_THRESHOLD.get();
+    let slots = DisjointSlice::new(&mut cos_values);
+    rt::parallel_for(a.rows(), Cost::Prefix(indptr), parallel, |lo, hi| {
+        // SAFETY: row ranges map to disjoint value ranges via indptr.
+        let out = unsafe { slots.range_mut(indptr[lo], indptr[hi]) };
+        let base = indptr[lo];
+        for r in lo..hi {
+            let xrow = x.row(r);
+            let nr = nx[r];
+            for idx in indptr[r]..indptr[r + 1] {
+                let c = indices[idx] as usize;
+                let denom = nr * ny[c];
+                out[idx - base] = if denom == T::zero() {
+                    T::zero()
+                } else {
+                    gemm::dot(xrow, y.row(c)) / denom
+                };
+            }
         }
-    }
+    });
     let cos = a.with_values(cos_values);
     let scores = cos.map_values(|v| beta * v);
     (scores, cos)
@@ -86,15 +98,24 @@ pub fn gat_scores<T: Scalar>(a: &Csr<T>, u: &[T], v: &[T], slope: f64) -> (Csr<T
     let mut post = vec![T::zero(); a.nnz()];
     let indptr = a.indptr();
     let indices = a.indices();
-    for r in 0..a.rows() {
-        let ur = u[r];
-        for idx in indptr[r]..indptr[r + 1] {
-            let c = indices[idx] as usize;
-            let score = ur + v[c];
-            pre[idx] = score;
-            post[idx] = act.eval(score);
+    let parallel = a.nnz() >= PAR_THRESHOLD.get();
+    let pre_slots = DisjointSlice::new(&mut pre);
+    let post_slots = DisjointSlice::new(&mut post);
+    rt::parallel_for(a.rows(), Cost::Prefix(indptr), parallel, |lo, hi| {
+        // SAFETY: row ranges map to disjoint value ranges via indptr.
+        let pre_out = unsafe { pre_slots.range_mut(indptr[lo], indptr[hi]) };
+        let post_out = unsafe { post_slots.range_mut(indptr[lo], indptr[hi]) };
+        let base = indptr[lo];
+        for r in lo..hi {
+            let ur = u[r];
+            for idx in indptr[r]..indptr[r + 1] {
+                let c = indices[idx] as usize;
+                let score = ur + v[c];
+                pre_out[idx - base] = score;
+                post_out[idx - base] = act.eval(score);
+            }
         }
-    }
+    });
     (a.with_values(post), a.with_values(pre))
 }
 
@@ -139,11 +160,18 @@ pub fn mask_dense<T: Scalar>(a: &Csr<T>, dense: &Dense<T>) -> Csr<T> {
     let mut values = vec![T::zero(); a.nnz()];
     let indptr = a.indptr();
     let indices = a.indices();
-    for r in 0..a.rows() {
-        for idx in indptr[r]..indptr[r + 1] {
-            values[idx] = dense[(r, indices[idx] as usize)];
+    let parallel = a.nnz() >= PAR_THRESHOLD.get();
+    let slots = DisjointSlice::new(&mut values);
+    rt::parallel_for(a.rows(), Cost::Prefix(indptr), parallel, |lo, hi| {
+        // SAFETY: row ranges map to disjoint value ranges via indptr.
+        let out = unsafe { slots.range_mut(indptr[lo], indptr[hi]) };
+        let base = indptr[lo];
+        for r in lo..hi {
+            for idx in indptr[r]..indptr[r + 1] {
+                out[idx - base] = dense[(r, indices[idx] as usize)];
+            }
         }
-    }
+    });
     a.with_values(values)
 }
 

@@ -9,45 +9,54 @@
 
 use crate::coo::Coo;
 use crate::csr::Csr;
+use atgnn_tensor::rt::{self, Cost, DisjointSlice, Tunable};
 use atgnn_tensor::Scalar;
+
+/// Stored entries below which the masked row loops stay sequential.
+/// Override with `ATGNN_MASKED_PAR_THRESHOLD` (`0` forces parallel).
+static PAR_THRESHOLD: Tunable = Tunable::new("ATGNN_MASKED_PAR_THRESHOLD", 16 * 1024);
+
+/// Element-wise combination of two same-pattern matrices:
+/// `out_e = f(a_e, b_e)` over the aligned value arrays. The shared body
+/// of [`hadamard`]/[`hadamard_div`]/[`add_same_pattern`], and the hook
+/// for custom fused epilogues (e.g. an activation gradient on edge
+/// scores).
+///
+/// # Panics
+/// Panics if the patterns differ.
+pub fn zip_values<T: Scalar>(a: &Csr<T>, b: &Csr<T>, f: impl Fn(T, T) -> T + Sync) -> Csr<T> {
+    assert!(a.same_pattern(b), "zip_values: pattern mismatch");
+    let mut values = vec![T::zero(); a.nnz()];
+    let av = a.values();
+    let bv = b.values();
+    let parallel = a.nnz() >= PAR_THRESHOLD.get();
+    let slots = DisjointSlice::new(&mut values);
+    rt::parallel_for(a.nnz(), Cost::Uniform, parallel, |lo, hi| {
+        // SAFETY: entry ranges are disjoint across chunk bodies.
+        let out = unsafe { slots.range_mut(lo, hi) };
+        for ((o, &x), &y) in out.iter_mut().zip(&av[lo..hi]).zip(&bv[lo..hi]) {
+            *o = f(x, y);
+        }
+    });
+    a.with_values(values)
+}
 
 /// `a ⊙ b` for two matrices sharing one pattern.
 ///
 /// # Panics
 /// Panics if the patterns differ.
 pub fn hadamard<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
-    assert!(a.same_pattern(b), "hadamard: pattern mismatch");
-    a.with_values(
-        a.values()
-            .iter()
-            .zip(b.values())
-            .map(|(&x, &y)| x * y)
-            .collect(),
-    )
+    zip_values(a, b, |x, y| x * y)
 }
 
 /// `a ⊘ b` for two matrices sharing one pattern.
 pub fn hadamard_div<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
-    assert!(a.same_pattern(b), "hadamard_div: pattern mismatch");
-    a.with_values(
-        a.values()
-            .iter()
-            .zip(b.values())
-            .map(|(&x, &y)| x / y)
-            .collect(),
-    )
+    zip_values(a, b, |x, y| x / y)
 }
 
 /// `a + b` for two matrices sharing one pattern.
 pub fn add_same_pattern<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
-    assert!(a.same_pattern(b), "add: pattern mismatch");
-    a.with_values(
-        a.values()
-            .iter()
-            .zip(b.values())
-            .map(|(&x, &y)| x + y)
-            .collect(),
-    )
+    zip_values(a, b, |x, y| x + y)
 }
 
 /// General sparse addition `a + b` (pattern union) — the `X₊ = X + Xᵀ`
@@ -74,9 +83,17 @@ pub fn add_transpose<T: Scalar>(x: &Csr<T>) -> Csr<T> {
 
 /// `sum(X) = X 1`: the sum of stored values in each row.
 pub fn row_sums<T: Scalar>(x: &Csr<T>) -> Vec<T> {
-    (0..x.rows())
-        .map(|r| x.row(r).1.iter().copied().fold(T::zero(), |s, v| s + v))
-        .collect()
+    let mut out = vec![T::zero(); x.rows()];
+    let parallel = x.nnz() >= PAR_THRESHOLD.get();
+    let slots = DisjointSlice::new(&mut out);
+    rt::parallel_for(x.rows(), Cost::Prefix(x.indptr()), parallel, |lo, hi| {
+        // SAFETY: row ranges are disjoint across chunk bodies.
+        let part = unsafe { slots.range_mut(lo, hi) };
+        for (r, o) in (lo..hi).zip(part.iter_mut()) {
+            *o = x.row(r).1.iter().copied().fold(T::zero(), |s, v| s + v);
+        }
+    });
+    out
 }
 
 /// `sumᵀ(X) = Xᵀ 1`: the sum of stored values in each column.
@@ -97,28 +114,47 @@ pub fn row_dots<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Vec<T> {
     assert!(a.same_pattern(b), "row_dots: pattern mismatch");
     let av = a.values();
     let bv = b.values();
-    (0..a.rows())
-        .map(|r| {
-            let (lo, hi) = (a.indptr()[r], a.indptr()[r + 1]);
-            av[lo..hi]
+    let indptr = a.indptr();
+    let mut out = vec![T::zero(); a.rows()];
+    let parallel = a.nnz() >= PAR_THRESHOLD.get();
+    let slots = DisjointSlice::new(&mut out);
+    rt::parallel_for(a.rows(), Cost::Prefix(indptr), parallel, |lo, hi| {
+        // SAFETY: row ranges are disjoint across chunk bodies.
+        let part = unsafe { slots.range_mut(lo, hi) };
+        for (r, o) in (lo..hi).zip(part.iter_mut()) {
+            let (rlo, rhi) = (indptr[r], indptr[r + 1]);
+            *o = av[rlo..rhi]
                 .iter()
-                .zip(&bv[lo..hi])
+                .zip(&bv[rlo..rhi])
                 .map(|(&x, &y)| x * y)
-                .fold(T::zero(), |s, v| s + v)
-        })
-        .collect()
+                .fold(T::zero(), |s, v| s + v);
+        }
+    });
+    out
 }
 
 /// Scales row `i` by `s[i]` (`diag(s) · X`).
 pub fn scale_rows<T: Scalar>(x: &Csr<T>, s: &[T]) -> Csr<T> {
     assert_eq!(x.rows(), s.len(), "scale_rows: length mismatch");
+    let indptr = x.indptr().to_vec();
     let mut out = x.clone();
-    for (r, &si) in s.iter().enumerate() {
-        let (lo, hi) = (out.indptr()[r], out.indptr()[r + 1]);
-        for v in &mut out.values_mut()[lo..hi] {
-            *v *= si;
-        }
-    }
+    let parallel = out.nnz() >= PAR_THRESHOLD.get();
+    let slots = DisjointSlice::new(out.values_mut());
+    rt::parallel_for(
+        indptr.len() - 1,
+        Cost::Prefix(&indptr),
+        parallel,
+        |lo, hi| {
+            // SAFETY: row ranges map to disjoint value ranges via indptr.
+            let part = unsafe { slots.range_mut(indptr[lo], indptr[hi]) };
+            let base = indptr[lo];
+            for (r, &si) in (lo..hi).zip(&s[lo..hi]) {
+                for v in &mut part[indptr[r] - base..indptr[r + 1] - base] {
+                    *v *= si;
+                }
+            }
+        },
+    );
     out
 }
 
@@ -147,25 +183,38 @@ pub fn row_softmax<T: Scalar>(x: &Csr<T>) -> Csr<T> {
 /// In-place variant of [`row_softmax`].
 pub fn row_softmax_inplace<T: Scalar>(x: &mut Csr<T>) {
     let indptr = x.indptr().to_vec();
+    let nnz = x.nnz();
     let values = x.values_mut();
-    for r in 0..indptr.len() - 1 {
-        let row = &mut values[indptr[r]..indptr[r + 1]];
-        if row.is_empty() {
-            continue;
-        }
-        let m = row
-            .iter()
-            .copied()
-            .fold(T::neg_infinity(), |a, b| Scalar::max(a, b));
-        let mut total = T::zero();
-        for v in row.iter_mut() {
-            *v = (*v - m).exp();
-            total += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= total;
-        }
-    }
+    let parallel = nnz >= PAR_THRESHOLD.get();
+    let slots = DisjointSlice::new(values);
+    rt::parallel_for(
+        indptr.len() - 1,
+        Cost::Prefix(&indptr),
+        parallel,
+        |lo, hi| {
+            // SAFETY: row ranges map to disjoint value ranges via indptr.
+            let part = unsafe { slots.range_mut(indptr[lo], indptr[hi]) };
+            let base = indptr[lo];
+            for r in lo..hi {
+                let row = &mut part[indptr[r] - base..indptr[r + 1] - base];
+                if row.is_empty() {
+                    continue;
+                }
+                let m = row
+                    .iter()
+                    .copied()
+                    .fold(T::neg_infinity(), |a, b| Scalar::max(a, b));
+                let mut total = T::zero();
+                for v in row.iter_mut() {
+                    *v = (*v - m).exp();
+                    total += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= total;
+                }
+            }
+        },
+    );
 }
 
 /// Backward pass of the graph softmax: given `Ψ = sm(E)` and the upstream
@@ -175,16 +224,37 @@ pub fn row_softmax_inplace<T: Scalar>(x: &mut Csr<T>) {
 pub fn row_softmax_backward<T: Scalar>(psi: &Csr<T>, d: &Csr<T>) -> Csr<T> {
     assert!(psi.same_pattern(d), "softmax backward: pattern mismatch");
     let r = row_dots(psi, d);
-    let mut out = psi.clone();
-    let indptr = out.indptr().to_vec();
+    row_softmax_backward_with_dots(psi, d, &r)
+}
+
+/// [`row_softmax_backward`] with the row-dot vector supplied by the
+/// caller: `∂L/∂E = Ψ ⊙ (D − rep(r))`. The distributed layers use this
+/// with row dots assembled from per-rank partial reductions (the local
+/// `rowsum(Ψ ⊙ D)` alone would be wrong on a 2D-partitioned block).
+pub fn row_softmax_backward_with_dots<T: Scalar>(psi: &Csr<T>, d: &Csr<T>, r: &[T]) -> Csr<T> {
+    assert!(psi.same_pattern(d), "softmax backward: pattern mismatch");
+    assert_eq!(psi.rows(), r.len(), "softmax backward: row-dot length");
+    let indptr = psi.indptr().to_vec();
     let dv = d.values();
-    let values = out.values_mut();
-    for row in 0..indptr.len() - 1 {
-        let ri = r[row];
-        for idx in indptr[row]..indptr[row + 1] {
-            values[idx] *= dv[idx] - ri;
-        }
-    }
+    let mut out = psi.clone();
+    let parallel = out.nnz() >= PAR_THRESHOLD.get();
+    let slots = DisjointSlice::new(out.values_mut());
+    rt::parallel_for(
+        indptr.len() - 1,
+        Cost::Prefix(&indptr),
+        parallel,
+        |lo, hi| {
+            // SAFETY: row ranges map to disjoint value ranges via indptr.
+            let part = unsafe { slots.range_mut(indptr[lo], indptr[hi]) };
+            let base = indptr[lo];
+            for row in lo..hi {
+                let ri = r[row];
+                for idx in indptr[row]..indptr[row + 1] {
+                    part[idx - base] *= dv[idx] - ri;
+                }
+            }
+        },
+    );
     out
 }
 

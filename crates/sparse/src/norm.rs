@@ -17,7 +17,22 @@
 use crate::coo::Coo;
 use crate::csr::Csr;
 use crate::masked::{row_sums, scale_cols, scale_rows};
+use atgnn_tensor::rt::{self, Cost, DisjointSlice};
 use atgnn_tensor::Scalar;
+
+/// Maps the degree vector through `f` in place on the runtime (the vector
+/// is one element per vertex, so only billion-scale graphs go parallel).
+fn map_degrees<T: Scalar>(d: &mut [T], f: impl Fn(T) -> T + Sync) {
+    let parallel = d.len() >= 64 * 1024;
+    let slots = DisjointSlice::new(d);
+    rt::parallel_for(slots.len(), Cost::Uniform, parallel, |lo, hi| {
+        // SAFETY: element ranges are disjoint across chunk bodies.
+        let part = unsafe { slots.range_mut(lo, hi) };
+        for v in part {
+            *v = f(*v);
+        }
+    });
+}
 
 /// `Â = A ∪ I` with unit values on the new diagonal entries.
 pub fn add_self_loops<T: Scalar>(a: &Csr<T>) -> Csr<T> {
@@ -42,33 +57,27 @@ pub fn add_self_loops<T: Scalar>(a: &Csr<T>) -> Csr<T> {
 /// `D^{-1/2} A D^{-1/2}` where `D` is the diagonal of row sums.
 /// Zero-degree vertices keep zero rows (no division by zero).
 pub fn sym_normalize<T: Scalar>(a: &Csr<T>) -> Csr<T> {
-    let d = row_sums(a);
-    let inv_sqrt: Vec<T> = d
-        .iter()
-        .map(|&x| {
-            if x == T::zero() {
-                T::zero()
-            } else {
-                T::one() / x.sqrt()
-            }
-        })
-        .collect();
+    let mut inv_sqrt = row_sums(a);
+    map_degrees(&mut inv_sqrt, |x| {
+        if x == T::zero() {
+            T::zero()
+        } else {
+            T::one() / x.sqrt()
+        }
+    });
     scale_cols(&scale_rows(a, &inv_sqrt), &inv_sqrt)
 }
 
 /// `D^{-1} A` — each row sums to one (or stays zero).
 pub fn row_normalize<T: Scalar>(a: &Csr<T>) -> Csr<T> {
-    let d = row_sums(a);
-    let inv: Vec<T> = d
-        .iter()
-        .map(|&x| {
-            if x == T::zero() {
-                T::zero()
-            } else {
-                T::one() / x
-            }
-        })
-        .collect();
+    let mut inv = row_sums(a);
+    map_degrees(&mut inv, |x| {
+        if x == T::zero() {
+            T::zero()
+        } else {
+            T::one() / x
+        }
+    });
     scale_rows(a, &inv)
 }
 

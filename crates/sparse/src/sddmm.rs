@@ -7,10 +7,12 @@
 //! `A`'s pattern.
 
 use crate::csr::Csr;
-use atgnn_tensor::{gemm, par, Dense, Scalar};
+use atgnn_tensor::rt::{self, Cost, DisjointSlice, Tunable};
+use atgnn_tensor::{gemm, Dense, Scalar};
 
-/// Stored entries below which the row loop stays sequential.
-const PAR_THRESHOLD: usize = 4 * 1024;
+/// Stored entries below which the row loop stays sequential. Override
+/// with `ATGNN_SDDMM_PAR_THRESHOLD` (`0` forces the parallel path).
+static PAR_THRESHOLD: Tunable = Tunable::new("ATGNN_SDDMM_PAR_THRESHOLD", 4 * 1024);
 
 /// `out = A ⊙ (X Yᵀ)`: for every stored `(i, j)` of `A`,
 /// `out_ij = a_ij · ⟨x_i, y_j⟩`. The result shares `A`'s pattern.
@@ -47,34 +49,29 @@ pub fn sddmm_with<T: Scalar>(
     let indptr = a.indptr();
     let indices = a.indices();
     let avals = a.values();
-    let kernel = |r: usize, out: &mut [T]| {
-        let xrow = x.row(r);
-        let lo = indptr[r];
-        let hi = lo + out.len();
-        for (slot, (&c, &av)) in out
-            .iter_mut()
-            .zip(indices[lo..hi].iter().zip(&avals[lo..hi]))
-        {
-            let yrow = y.row(c as usize);
-            *slot = f(av, gemm::dot(xrow, yrow));
+    let parallel = a.nnz() >= PAR_THRESHOLD.get();
+    // The output value array is laid out exactly like A's values, so an
+    // nnz-balanced row range owns the contiguous value range
+    // `indptr[lo]..indptr[hi]` — no per-row slice bookkeeping needed.
+    let slots = DisjointSlice::new(&mut values);
+    rt::parallel_for(a.rows(), Cost::Prefix(indptr), parallel, |lo, hi| {
+        // SAFETY: indptr is monotone, so row ranges map to disjoint
+        // value ranges across chunk bodies.
+        let out = unsafe { slots.range_mut(indptr[lo], indptr[hi]) };
+        let base = indptr[lo];
+        for r in lo..hi {
+            let xrow = x.row(r);
+            let (rlo, rhi) = (indptr[r], indptr[r + 1]);
+            let row_out = &mut out[rlo - base..rhi - base];
+            for (slot, (&c, &av)) in row_out
+                .iter_mut()
+                .zip(indices[rlo..rhi].iter().zip(&avals[rlo..rhi]))
+            {
+                let yrow = y.row(c as usize);
+                *slot = f(av, gemm::dot(xrow, yrow));
+            }
         }
-    };
-    if a.nnz() >= PAR_THRESHOLD {
-        // Partition the value array by rows using the indptr offsets.
-        let mut slices: Vec<(usize, &mut [T])> = Vec::with_capacity(a.rows());
-        let mut rest: &mut [T] = &mut values;
-        for r in 0..a.rows() {
-            let len = indptr[r + 1] - indptr[r];
-            let (head, tail) = rest.split_at_mut(len);
-            slices.push((r, head));
-            rest = tail;
-        }
-        par::for_each_task(slices, |(r, s)| kernel(r, s));
-    } else {
-        for r in 0..a.rows() {
-            kernel(r, &mut values[indptr[r]..indptr[r + 1]]);
-        }
-    }
+    });
     a.with_values(values)
 }
 
@@ -135,7 +132,7 @@ mod tests {
         let mut coo = coo;
         coo.dedup_binary();
         let a: Csr<f64> = Csr::from_coo(&coo);
-        assert!(a.nnz() >= PAR_THRESHOLD);
+        assert!(a.nnz() >= PAR_THRESHOLD.get());
         let x = Dense::from_fn(n as usize, 8, |i, j| ((i * 3 + j) % 7) as f64 - 3.0);
         let y = Dense::from_fn(n as usize, 8, |i, j| ((i + 5 * j) % 11) as f64 - 5.0);
         let got = sddmm(&a, &x, &y);

@@ -79,8 +79,10 @@ impl core::fmt::Display for SemiringKind {
 /// `finish(fold(combine, zero, {(a_ij, h_jf)}))` over the stored entries
 /// of row `i`; `combine` is `acc ← acc op₁ (a op₂ h)`.
 pub trait Semiring<T: Scalar>: Sync {
-    /// Accumulator state for one output element.
-    type Acc: Clone + Send + Sync;
+    /// Accumulator state for one output element (`'static` so kernels can
+    /// keep accumulator rows in the per-thread scratch arenas of
+    /// `atgnn_tensor::rt`).
+    type Acc: Clone + Send + Sync + 'static;
     /// The `op₁` identity `el₁`.
     fn zero(&self) -> Self::Acc;
     /// `acc ← acc op₁ (a_val op₂ h_val)`.

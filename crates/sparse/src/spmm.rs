@@ -1,23 +1,47 @@
 //! Sparse×dense products: `SpMM`, `AᵀH`, and the composed `SpMMM`/`MSpMM`
 //! patterns of the paper's Table 2.
 //!
-//! The CUDA grid-stride loop of the paper's implementation maps to a
-//! parallel loop over CSR rows: each output row is produced by one task
-//! from one contiguous CSR row, so the kernel is embarrassingly parallel
-//! and allocation-free per task.
+//! The CUDA grid-stride loop of the paper's implementation maps to the
+//! runtime's self-scheduled row chunks (`atgnn_tensor::rt`): rows are
+//! partitioned by *stored entries* via the CSR row pointer, so the heavy
+//! hub rows of power-law graphs no longer serialize the kernel, and each
+//! chunk writes a disjoint block of the output — allocation-free per row.
+//!
+//! `spmm_t` (the `Aᵀ·G` aggregation in every backward pass) is a scatter:
+//! it parallelizes over a *fixed*, size-derived chunk grid into per-chunk
+//! partial outputs merged by a deterministic tree reduction, so its
+//! floating-point result is bit-identical for every `ATGNN_THREADS`
+//! setting.
 
 use crate::csr::Csr;
 use crate::semiring::Semiring;
-use atgnn_tensor::{gemm, par, Dense, Scalar};
+use atgnn_tensor::rt::{self, Cost, DisjointSlice, Tunable};
+use atgnn_tensor::{gemm, ops, Dense, Scalar};
+use std::sync::Mutex;
 
-/// Result elements below which the row loop stays sequential.
-const PAR_THRESHOLD: usize = 8 * 1024;
+/// Result elements below which the row loop stays sequential. Override
+/// with `ATGNN_SPMM_PAR_THRESHOLD` (`0` forces the parallel path).
+static PAR_THRESHOLD: Tunable = Tunable::new("ATGNN_SPMM_PAR_THRESHOLD", 8 * 1024);
+
+/// Scatter work (`nnz · k`) below which `spmm_t` uses the plain
+/// sequential scatter. Override with `ATGNN_SPMM_T_PAR_THRESHOLD`. The
+/// gate depends on the problem size only — never on the thread count —
+/// so the chosen path (and its floating-point rounding) is reproducible
+/// across `ATGNN_THREADS` settings.
+static SPMM_T_PAR_THRESHOLD: Tunable = Tunable::new("ATGNN_SPMM_T_PAR_THRESHOLD", 64 * 1024);
+
+/// Fixed partial-buffer count for the parallel `spmm_t` scatter. A
+/// constant (not a thread-count multiple) so the reduction tree shape is
+/// identical for every `ATGNN_THREADS` setting.
+const SPMM_T_PARTIALS: usize = 8;
 
 /// Generalized SpMM: `out = A ⊕ H` over the given semiring
 /// (paper Section 4.3). `out[i][f] = finish(⊕_{j ∈ row i} a_ij ⊗ h_jf)`.
 ///
 /// Rows with no stored entries produce `finish(zero)` — e.g. `0` for the
-/// real semiring, `+∞` mapped through `finish` for min-plus.
+/// real semiring, `+∞` mapped through `finish` for min-plus. The per-row
+/// accumulator lives in the worker's scratch arena, so the hot loop does
+/// not allocate.
 ///
 /// # Panics
 /// Panics if `A.cols() != H.rows()`.
@@ -33,27 +57,28 @@ pub fn spmm_semiring<T: Scalar, S: Semiring<T>>(s: &S, a: &Csr<T>, h: &Dense<T>)
     );
     let k = h.cols();
     let mut out = Dense::zeros(a.rows(), k);
-    let kernel = |i: usize, out_row: &mut [T]| {
-        let (cols, vals) = a.row(i);
-        let mut acc: Vec<S::Acc> = vec![s.zero(); k];
-        for (&j, &av) in cols.iter().zip(vals) {
-            let hrow = h.row(j as usize);
-            for (a_f, &hv) in acc.iter_mut().zip(hrow) {
-                s.combine(a_f, av, hv);
+    let parallel = a.rows() * k >= PAR_THRESHOLD.get();
+    let slots = DisjointSlice::new(out.as_mut_slice());
+    rt::parallel_for(a.rows(), Cost::Prefix(a.indptr()), parallel, |lo, hi| {
+        // SAFETY: row ranges are disjoint across chunk bodies.
+        let rows_out = unsafe { slots.range_mut(lo * k, hi * k) };
+        rt::with_scratch::<S::Acc, _>(|acc| {
+            for (i, out_row) in (lo..hi).zip(rows_out.chunks_mut(k.max(1))) {
+                acc.clear();
+                acc.resize(k, s.zero());
+                let (cols, vals) = a.row(i);
+                for (&j, &av) in cols.iter().zip(vals) {
+                    let hrow = h.row(j as usize);
+                    for (a_f, &hv) in acc.iter_mut().zip(hrow) {
+                        s.combine(a_f, av, hv);
+                    }
+                }
+                for (o, a_f) in out_row.iter_mut().zip(acc.drain(..)) {
+                    *o = s.finish(a_f);
+                }
             }
-        }
-        for (o, a_f) in out_row.iter_mut().zip(acc) {
-            *o = s.finish(a_f);
-        }
-    };
-    if a.rows() * k >= PAR_THRESHOLD {
-        par::for_each_chunk(out.as_mut_slice(), k.max(1), kernel);
-    } else {
-        out.as_mut_slice()
-            .chunks_mut(k.max(1))
-            .enumerate()
-            .for_each(|(i, c)| kernel(i, c));
-    }
+        });
+    });
     out
 }
 
@@ -65,41 +90,29 @@ pub fn spmm<T: Scalar>(a: &Csr<T>, h: &Dense<T>) -> Dense<T> {
     assert_eq!(a.cols(), h.rows(), "spmm: inner dimensions differ");
     let k = h.cols();
     let mut out = Dense::zeros(a.rows(), k);
-    let kernel = |i: usize, out_row: &mut [T]| {
-        let (cols, vals) = a.row(i);
-        for (&j, &av) in cols.iter().zip(vals) {
-            let hrow = h.row(j as usize);
-            for (o, &hv) in out_row.iter_mut().zip(hrow) {
-                *o += av * hv;
+    let parallel = a.rows() * k >= PAR_THRESHOLD.get();
+    let slots = DisjointSlice::new(out.as_mut_slice());
+    rt::parallel_for(a.rows(), Cost::Prefix(a.indptr()), parallel, |lo, hi| {
+        // SAFETY: row ranges are disjoint across chunk bodies.
+        let rows_out = unsafe { slots.range_mut(lo * k, hi * k) };
+        for (i, out_row) in (lo..hi).zip(rows_out.chunks_mut(k.max(1))) {
+            let (cols, vals) = a.row(i);
+            for (&j, &av) in cols.iter().zip(vals) {
+                let hrow = h.row(j as usize);
+                for (o, &hv) in out_row.iter_mut().zip(hrow) {
+                    *o += av * hv;
+                }
             }
         }
-    };
-    if a.rows() * k >= PAR_THRESHOLD {
-        par::for_each_chunk(out.as_mut_slice(), k.max(1), kernel);
-    } else {
-        out.as_mut_slice()
-            .chunks_mut(k.max(1))
-            .enumerate()
-            .for_each(|(i, c)| kernel(i, c));
-    }
+    });
     out
 }
 
-/// `out = Aᵀ · H` without materializing `Aᵀ` (row scatter).
-///
-/// The backward pass runs on the reversed graph (paper Section 5.2); for
-/// the undirected graphs dominating GNN workloads `Aᵀ = A`, but the kernel
-/// supports the general case.
-pub fn spmm_t<T: Scalar>(a: &Csr<T>, h: &Dense<T>) -> Dense<T> {
-    assert_eq!(a.rows(), h.rows(), "spmm_t: dimension mismatch");
-    let k = h.cols();
-    let n_out = a.cols();
-    // Scatter along rows: parallelizing requires per-thread partials; at
-    // the sizes used per simulated rank a sequential scatter is both
-    // correct and fast, and matches the deterministic reduction order the
-    // distributed tests rely on.
-    let mut out = Dense::zeros(n_out, k);
-    for i in 0..a.rows() {
+/// Sequential scatter of rows `lo..hi` of `Aᵀ·H` into a fresh `n_out × k`
+/// buffer — the shared body of both `spmm_t` paths.
+fn spmm_t_scatter<T: Scalar>(a: &Csr<T>, h: &Dense<T>, lo: usize, hi: usize) -> Dense<T> {
+    let mut out = Dense::zeros(a.cols(), h.cols());
+    for i in lo..hi {
         let (cols, vals) = a.row(i);
         let hrow = h.row(i);
         for (&j, &av) in cols.iter().zip(vals) {
@@ -110,6 +123,64 @@ pub fn spmm_t<T: Scalar>(a: &Csr<T>, h: &Dense<T>) -> Dense<T> {
         }
     }
     out
+}
+
+/// `out = Aᵀ · H` without materializing `Aᵀ` (row scatter).
+///
+/// The backward pass runs on the reversed graph (paper Section 5.2); for
+/// the undirected graphs dominating GNN workloads `Aᵀ = A`, but the kernel
+/// supports the general case.
+///
+/// Large inputs scatter in parallel: input rows are cut into
+/// [`SPMM_T_PARTIALS`] nnz-balanced chunks (a grid derived from the
+/// problem size only), each chunk scatters into its own partial output,
+/// and partials merge pairwise in a fixed tree order — so the result is
+/// bit-identical for every `ATGNN_THREADS` setting, which the distributed
+/// tests and the training-determinism guarantee rely on.
+pub fn spmm_t<T: Scalar>(a: &Csr<T>, h: &Dense<T>) -> Dense<T> {
+    assert_eq!(a.rows(), h.rows(), "spmm_t: dimension mismatch");
+    let k = h.cols();
+    let n_out = a.cols();
+    let nnz = a.nnz();
+    // Size-only path gate: enough scatter work to amortize the partial
+    // buffers, and enough stored entries that zero-initializing
+    // SPMM_T_PARTIALS output copies stays a minor cost.
+    let heavy = nnz.saturating_mul(k.max(1)) >= SPMM_T_PAR_THRESHOLD.get()
+        && nnz >= 2 * n_out.max(1)
+        && a.rows() >= SPMM_T_PARTIALS;
+    if !heavy {
+        return spmm_t_scatter(a, h, 0, a.rows());
+    }
+    let bounds = rt::balanced_boundaries(a.rows(), Cost::Prefix(a.indptr()), SPMM_T_PARTIALS);
+    let n_parts = bounds.len() - 1;
+    let partials: Vec<Mutex<Option<Dense<T>>>> = (0..n_parts).map(|_| Mutex::new(None)).collect();
+    rt::dispatch(n_parts, |c| {
+        let p = spmm_t_scatter(a, h, bounds[c], bounds[c + 1]);
+        *partials[c].lock().unwrap_or_else(|e| e.into_inner()) = Some(p);
+    });
+    // Deterministic tree reduction: level strides 1, 2, 4, …; each merge
+    // folds the right partial into the left (`partials[i] += partials[i +
+    // stride]`), and merges within a level run in parallel.
+    let mut stride = 1;
+    while stride < n_parts {
+        let pairs: Vec<usize> = (0..n_parts)
+            .step_by(2 * stride)
+            .filter(|&i| i + stride < n_parts)
+            .collect();
+        rt::dispatch(pairs.len(), |pi| {
+            let i = pairs[pi];
+            let right = partials[i + stride]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("spmm_t: partial already merged");
+            let mut left = partials[i].lock().unwrap_or_else(|e| e.into_inner());
+            ops::add_assign(left.as_mut().expect("spmm_t: missing left partial"), &right);
+        });
+        stride *= 2;
+    }
+    let reduced = partials[0].lock().unwrap_or_else(|e| e.into_inner()).take();
+    reduced.expect("spmm_t: missing reduced output")
 }
 
 /// The execution order of a three-factor product.

@@ -15,11 +15,13 @@
 
 use crate::dense::Dense;
 use crate::par;
+use crate::rt::{self, Cost, DisjointSlice, Tunable};
 use crate::scalar::Scalar;
 
 /// Minimum number of result elements before a product is parallelized.
-/// Below this, thread-spawn overhead outweighs the work.
-const PAR_THRESHOLD: usize = 16 * 1024;
+/// Below this, dispatch overhead outweighs the work. Override with
+/// `ATGNN_GEMM_PAR_THRESHOLD` (`0` forces the parallel path).
+static PAR_THRESHOLD: Tunable = Tunable::new("ATGNN_GEMM_PAR_THRESHOLD", 16 * 1024);
 
 /// `C = A · B`.
 ///
@@ -39,25 +41,23 @@ pub fn matmul<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
     let n = b.cols();
     let mut out = Dense::zeros(m, n);
     let bs = b.as_slice();
-    let kernel = |i: usize, row_out: &mut [T]| {
-        let arow = a.row(i);
-        // i-k-j loop order: the inner j loop streams over a contiguous row
-        // of B and of the output, which LLVM auto-vectorizes.
-        for (kk, &aik) in arow.iter().enumerate().take(k) {
-            let brow = &bs[kk * n..kk * n + n];
-            for (o, &bv) in row_out.iter_mut().zip(brow) {
-                *o += aik * bv;
+    let slots = DisjointSlice::new(out.as_mut_slice());
+    let parallel = m * n >= PAR_THRESHOLD.get();
+    rt::parallel_for(m, Cost::Uniform, parallel, |lo, hi| {
+        // SAFETY: row ranges are disjoint across chunk bodies.
+        let rows_out = unsafe { slots.range_mut(lo * n, hi * n) };
+        for (i, row_out) in (lo..hi).zip(rows_out.chunks_mut(n.max(1))) {
+            let arow = a.row(i);
+            // i-k-j loop order: the inner j loop streams over a contiguous
+            // row of B and of the output, which LLVM auto-vectorizes.
+            for (kk, &aik) in arow.iter().enumerate().take(k) {
+                let brow = &bs[kk * n..kk * n + n];
+                for (o, &bv) in row_out.iter_mut().zip(brow) {
+                    *o += aik * bv;
+                }
             }
         }
-    };
-    if m * n >= PAR_THRESHOLD {
-        par::for_each_chunk(out.as_mut_slice(), n, kernel);
-    } else {
-        out.as_mut_slice()
-            .chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, c)| kernel(i, c));
-    }
+    });
     out
 }
 
@@ -81,7 +81,9 @@ pub fn matmul_tn<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
     let k = a.cols();
     let j = b.cols();
     // The output is k×j (small). Parallelize by splitting the long n
-    // dimension and reducing partial products.
+    // dimension and reducing partial products. `map_reduce_ranges` chunks
+    // by problem size only and folds partials in fixed order, so this
+    // weight-gradient reduction is bit-identical across thread counts.
     let reduce = |lo: usize, hi: usize| {
         let mut acc = Dense::zeros(k, j);
         for r in lo..hi {
@@ -96,7 +98,7 @@ pub fn matmul_tn<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
         }
         acc
     };
-    if n * k * j >= PAR_THRESHOLD * 8 {
+    if n * k * j >= PAR_THRESHOLD.get().saturating_mul(8) {
         par::map_reduce_ranges(n, reduce, |mut x, y| {
             crate::ops::add_assign(&mut x, &y);
             x
@@ -126,25 +128,23 @@ pub fn matmul_nt<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
     let m = a.rows();
     let n = b.rows();
     let mut out = Dense::zeros(m, n);
-    let kernel = |i: usize, row_out: &mut [T]| {
-        let arow = a.row(i);
-        for (jj, o) in row_out.iter_mut().enumerate() {
-            let brow = b.row(jj);
-            let mut acc = T::zero();
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
+    let slots = DisjointSlice::new(out.as_mut_slice());
+    let parallel = m * n >= PAR_THRESHOLD.get();
+    rt::parallel_for(m, Cost::Uniform, parallel, |lo, hi| {
+        // SAFETY: row ranges are disjoint across chunk bodies.
+        let rows_out = unsafe { slots.range_mut(lo * n, hi * n) };
+        for (i, row_out) in (lo..hi).zip(rows_out.chunks_mut(n.max(1))) {
+            let arow = a.row(i);
+            for (jj, o) in row_out.iter_mut().enumerate() {
+                let brow = b.row(jj);
+                let mut acc = T::zero();
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *o = acc;
             }
-            *o = acc;
         }
-    };
-    if m * n >= PAR_THRESHOLD {
-        par::for_each_chunk(out.as_mut_slice(), n, kernel);
-    } else {
-        out.as_mut_slice()
-            .chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, c)| kernel(i, c));
-    }
+    });
     out
 }
 

@@ -18,9 +18,13 @@
 //!   derivatives `σ'`, applied between GNN layers.
 //! * [`init`] — deterministic, seedable random initializers (Glorot/Xavier
 //!   and friends) mirroring the artifact's `--seed` flag.
-//! * [`par`] — scoped-thread fork-join helpers the kernels parallelize
-//!   with; [`rng`] — the self-contained ChaCha8 generator behind every
-//!   seeded random choice in the workspace.
+//! * [`rt`] — the persistent worker-pool runtime every kernel schedules
+//!   onto: nnz-balanced work descriptors, chunked self-scheduling,
+//!   deterministic reductions, per-thread scratch arenas, and the
+//!   `ATGNN_THREADS` / `*_PAR_THRESHOLD` tuning knobs; [`par`] — legacy
+//!   fork-join helpers, now thin shims over [`rt`]; [`rng`] — the
+//!   self-contained ChaCha8 generator behind every seeded random choice
+//!   in the workspace.
 //!
 //! Everything is generic over [`Scalar`] so the benchmark harness can run in
 //! `f32` (as the paper does) while gradient-checking tests run in `f64`.
@@ -33,6 +37,7 @@ pub mod init;
 pub mod ops;
 pub mod par;
 pub mod rng;
+pub mod rt;
 pub mod scalar;
 
 pub use activation::Activation;

@@ -4,23 +4,40 @@
 //! formulations, plus the scale/axpy primitives the optimizers use.
 
 use crate::dense::Dense;
-use crate::par;
+use crate::rt::{self, Cost, DisjointSlice, Tunable};
 use crate::scalar::Scalar;
 
-/// Threshold (in elements) above which element-wise loops run in parallel.
-const PAR_THRESHOLD: usize = 64 * 1024;
+/// Threshold (in elements) above which element-wise loops run in
+/// parallel. Override with `ATGNN_ELEMWISE_PAR_THRESHOLD` (`0` forces the
+/// parallel path).
+static PAR_THRESHOLD: Tunable = Tunable::new("ATGNN_ELEMWISE_PAR_THRESHOLD", 64 * 1024);
 
 #[inline]
 fn zip_apply<T: Scalar>(a: &mut Dense<T>, b: &Dense<T>, f: impl Fn(&mut T, T) + Sync + Send) {
     assert_eq!(a.shape(), b.shape(), "element-wise op: shape mismatch");
     let n = a.len();
-    if n >= PAR_THRESHOLD {
-        par::for_each_zip(a.as_mut_slice(), b.as_slice(), |x, &y| f(x, y));
-    } else {
-        for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+    let parallel = n >= PAR_THRESHOLD.get();
+    let bs = b.as_slice();
+    let slots = DisjointSlice::new(a.as_mut_slice());
+    rt::parallel_for(n, Cost::Uniform, parallel, |lo, hi| {
+        // SAFETY: element ranges are disjoint across chunk bodies.
+        let part = unsafe { slots.range_mut(lo, hi) };
+        for (x, &y) in part.iter_mut().zip(&bs[lo..hi]) {
             f(x, y);
         }
-    }
+    });
+}
+
+#[inline]
+fn map_apply<T: Scalar>(a: &mut Dense<T>, f: impl Fn(&mut T) + Sync + Send) {
+    let n = a.len();
+    let parallel = n >= PAR_THRESHOLD.get();
+    let slots = DisjointSlice::new(a.as_mut_slice());
+    rt::parallel_for(n, Cost::Uniform, parallel, |lo, hi| {
+        // SAFETY: element ranges are disjoint across chunk bodies.
+        let part = unsafe { slots.range_mut(lo, hi) };
+        part.iter_mut().for_each(&f);
+    });
 }
 
 /// `a += b`.
@@ -66,13 +83,7 @@ pub fn hadamard<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
 
 /// `a *= s` (scalar scale).
 pub fn scale_assign<T: Scalar>(a: &mut Dense<T>, s: T) {
-    if a.len() >= PAR_THRESHOLD {
-        par::for_each_mut(a.as_mut_slice(), |x| *x *= s);
-    } else {
-        for x in a.as_mut_slice() {
-            *x *= s;
-        }
-    }
+    map_apply(a, |x| *x *= s);
 }
 
 /// Returns `s · a`.
@@ -89,13 +100,7 @@ pub fn axpy<T: Scalar>(y: &mut Dense<T>, alpha: T, x: &Dense<T>) {
 
 /// Applies `f` to every element in place.
 pub fn map_assign<T: Scalar>(a: &mut Dense<T>, f: impl Fn(T) -> T + Sync + Send) {
-    if a.len() >= PAR_THRESHOLD {
-        par::for_each_mut(a.as_mut_slice(), |x| *x = f(*x));
-    } else {
-        for x in a.as_mut_slice() {
-            *x = f(*x);
-        }
-    }
+    map_apply(a, |x| *x = f(*x));
 }
 
 /// Returns `f` mapped over every element.

@@ -1,31 +1,24 @@
-//! Minimal data-parallel helpers built on `std::thread::scope`.
+//! Legacy fork-join helpers, kept as thin shims over the persistent
+//! runtime in [`crate::rt`].
 //!
-//! The kernels in this workspace only ever need a handful of fork-join
-//! shapes: "split a flat buffer into row chunks and process each", "zip two
-//! equal-length buffers", and "map contiguous index ranges and reduce the
-//! partials". Work per element is uniform (dense rows, CSR rows of similar
-//! length), so static partitioning over scoped threads is enough — no work
-//! stealing, no external runtime, no unsafe.
-//!
-//! Every helper degrades to a plain sequential loop when there is a single
-//! hardware thread or not enough work to split.
+//! Earlier revisions spawned scoped threads per kernel call with static
+//! row-count partitioning; both decisions are now owned by the runtime
+//! (persistent pool, cost-balanced chunks, self-scheduling). These
+//! wrappers preserve the original call shapes for code and tests that
+//! still use them — new kernels should call [`crate::rt`] directly.
 
-use std::num::NonZeroUsize;
-use std::thread;
+use crate::rt::{self, Cost, DisjointSlice};
+use std::sync::Mutex;
 
-/// Number of worker threads to fan out to (hardware parallelism).
+/// Number of active worker threads (see [`rt::num_threads`]).
 pub fn num_threads() -> usize {
-    thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    rt::num_threads()
 }
 
 /// Parallel equivalent of `data.chunks_mut(chunk).enumerate().for_each(f)`.
 ///
-/// `f` receives the global chunk index and the chunk slice. Chunks are
-/// distributed contiguously over worker threads: each thread owns a run of
-/// whole chunks, so `f` observes exactly the same (index, slice) pairs as
-/// the sequential loop would.
+/// `f` observes exactly the same (index, slice) pairs as the sequential
+/// loop would; chunks are self-scheduled over the pool.
 ///
 /// # Panics
 /// Panics if `chunk == 0` while `data` is non-empty.
@@ -38,30 +31,16 @@ where
         return;
     }
     assert!(chunk > 0, "for_each_chunk: chunk size must be positive");
-    let n_chunks = data.len().div_ceil(chunk);
-    let threads = num_threads().min(n_chunks);
-    if threads <= 1 {
-        for (i, c) in data.chunks_mut(chunk).enumerate() {
-            f(i, c);
-        }
-        return;
-    }
-    let per_thread = n_chunks.div_ceil(threads);
-    let f = &f;
-    thread::scope(|s| {
-        let mut rest = data;
-        let mut base = 0usize;
-        while !rest.is_empty() {
-            let take = (per_thread * chunk).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let first = base;
-            base += per_thread;
-            s.spawn(move || {
-                for (i, c) in head.chunks_mut(chunk).enumerate() {
-                    f(first + i, c);
-                }
-            });
+    let len = data.len();
+    let n_chunks = len.div_ceil(chunk);
+    let slots = DisjointSlice::new(data);
+    rt::parallel_for(n_chunks, Cost::Uniform, true, |lo, hi| {
+        for ci in lo..hi {
+            let start = ci * chunk;
+            let end = (start + chunk).min(len);
+            // SAFETY: chunk index ranges are disjoint across bodies.
+            let part = unsafe { slots.range_mut(start, end) };
+            f(ci, part);
         }
     });
 }
@@ -72,11 +51,12 @@ where
     T: Send,
     F: Fn(&mut T) + Sync,
 {
-    if data.is_empty() {
-        return;
-    }
-    let chunk = data.len().div_ceil(num_threads()).max(1);
-    for_each_chunk(data, chunk, |_, c| c.iter_mut().for_each(&f));
+    let slots = DisjointSlice::new(data);
+    rt::parallel_for(slots.len(), Cost::Uniform, true, |lo, hi| {
+        // SAFETY: element ranges are disjoint across bodies.
+        let part = unsafe { slots.range_mut(lo, hi) };
+        part.iter_mut().for_each(&f);
+    });
 }
 
 /// Parallel equivalent of
@@ -91,23 +71,17 @@ where
     F: Fn(&mut T, &U) + Sync,
 {
     assert_eq!(a.len(), b.len(), "for_each_zip: length mismatch");
-    if a.is_empty() {
-        return;
-    }
-    let chunk = a.len().div_ceil(num_threads()).max(1);
-    for_each_chunk(a, chunk, |ci, c| {
-        let lo = ci * chunk;
-        let len = c.len();
-        for (x, y) in c.iter_mut().zip(&b[lo..lo + len]) {
+    let slots = DisjointSlice::new(a);
+    rt::parallel_for(slots.len(), Cost::Uniform, true, |lo, hi| {
+        // SAFETY: element ranges are disjoint across bodies.
+        let part = unsafe { slots.range_mut(lo, hi) };
+        for (x, y) in part.iter_mut().zip(&b[lo..hi]) {
             f(x, y);
         }
     });
 }
 
-/// Run one closure per owned task, distributing tasks over worker threads.
-///
-/// Used when the work items carry mutable borrows carved out of a larger
-/// buffer (e.g. per-row value slices of a CSR matrix).
+/// Run one closure per owned task, distributing tasks over the pool.
 pub fn for_each_task<T, F>(tasks: Vec<T>, f: F)
 where
     T: Send,
@@ -116,20 +90,14 @@ where
     if tasks.is_empty() {
         return;
     }
-    let threads = num_threads().min(tasks.len());
-    if threads <= 1 {
-        tasks.into_iter().for_each(f);
-        return;
-    }
-    let per_thread = tasks.len().div_ceil(threads);
-    let f = &f;
-    thread::scope(|s| {
-        let mut tasks = tasks;
-        while !tasks.is_empty() {
-            let split = tasks.len().saturating_sub(per_thread);
-            let batch = tasks.split_off(split);
-            s.spawn(move || batch.into_iter().for_each(f));
-        }
+    let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    rt::dispatch(slots.len(), |i| {
+        let task = slots[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("for_each_task: task already taken");
+        f(task);
     });
 }
 
@@ -137,9 +105,10 @@ where
 /// results: `add(map(0, a), add(map(a, b), ...))`. Returns `None` when
 /// `n == 0`.
 ///
-/// The reduction order is deterministic (ranges are folded left to right
-/// in index order), so floating-point results are reproducible across runs
-/// on the same machine.
+/// The range grid is derived from `n` alone (see [`rt::fixed_chunks`])
+/// and partials fold left to right in index order, so floating-point
+/// results are bit-identical across `ATGNN_THREADS` settings — this is
+/// what keeps the weight-gradient reductions reproducible.
 pub fn map_reduce_ranges<R, M, A>(n: usize, map: M, add: A) -> Option<R>
 where
     R: Send,
@@ -149,23 +118,22 @@ where
     if n == 0 {
         return None;
     }
-    let threads = num_threads().min(n);
-    if threads <= 1 {
+    // Size-only chunking: at least ~4k items per chunk, at most 16 chunks.
+    let bounds = rt::fixed_chunks(n, 4096, 16);
+    let n_chunks = bounds.len() - 1;
+    if n_chunks == 1 {
         return Some(map(0, n));
     }
-    let step = n.div_ceil(threads);
-    let map = &map;
-    let partials: Vec<R> = thread::scope(|s| {
-        let handles: Vec<_> = (0..n)
-            .step_by(step)
-            .map(|lo| s.spawn(move || map(lo, (lo + step).min(n))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel map worker panicked"))
-            .collect()
+    let partials: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    rt::dispatch(n_chunks, |c| {
+        let r = map(bounds[c], bounds[c + 1]);
+        *partials[c].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
     });
-    let mut it = partials.into_iter();
+    let mut it = partials.into_iter().map(|m| {
+        m.into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .expect("map_reduce_ranges: missing partial")
+    });
     let first = it.next()?;
     Some(it.fold(first, add))
 }
