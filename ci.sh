@@ -58,4 +58,30 @@ if [ "$bad" -ne 0 ]; then
     exit 1
 fi
 
+echo "== lint: layer code routes attention through ExecPlan, not staged kernels =="
+# Layers must dispatch via atgnn_sparse::attention with an explicit
+# AttentionExec (see DESIGN.md §6 "One-pass attention fusion"). Direct
+# calls to the staged score kernels (fused::*) or a materialized forward
+# softmax (masked::row_softmax(...)) bypass the plan and silently lose
+# the one-pass path. The softmax *backward* helpers remain legal — the
+# open paren keeps them out of the match.
+bad=0
+for file in crates/core/src/layers/va.rs crates/core/src/layers/agnn.rs \
+    crates/core/src/layers/gat.rs crates/dist/src/layers.rs; do
+    if grep -nE 'fused::|masked::row_softmax\(' "$file" >/dev/null; then
+        echo "staged attention kernel called directly from layer code: $file"
+        grep -nE 'fused::|masked::row_softmax\(' "$file"
+        bad=1
+    fi
+done
+if [ "$bad" -ne 0 ]; then
+    echo "FAILED: layer code must go through atgnn_sparse::attention + ExecPlan"
+    exit 1
+fi
+
+echo "== ablation_fusion smoke (staged vs one-pass harness) =="
+# Smoke mode: smallest graph only, no timing assertions — verifies the
+# staged/one-pass pipeline harness and the BENCH_fusion.json writer run.
+ATGNN_SMOKE=1 cargo run --release -q -p atgnn-bench --bin ablation_fusion
+
 echo "== ci.sh: all checks passed =="

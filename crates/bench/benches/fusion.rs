@@ -1,10 +1,11 @@
 //! The kernel-fusion ablation (Figure 5): the fused virtual-tensor score
-//! kernels against their materializing counterparts, per model. Plain
-//! timing harness; prints median seconds per variant.
+//! kernels against their materializing counterparts, per model, plus the
+//! full attention sandwich (SDDMM→softmax→SpMM) staged vs one-pass.
+//! Plain timing harness; prints median seconds per variant.
 
 use atgnn_bench::measure::time_median;
 use atgnn_graphgen::kronecker;
-use atgnn_sparse::fused;
+use atgnn_sparse::{attention, fused};
 use atgnn_tensor::init;
 
 fn report(name: &str, id: &str, secs: f64) {
@@ -59,6 +60,57 @@ fn main() {
             &id,
             time_median(|| {
                 std::hint::black_box(fused::unfused_agnn_scores(&a, &h, 1.0f32));
+            }),
+        );
+        // The full attention sandwich, staged (score Csr + softmax Csr +
+        // SpMM, three sweeps) vs one-pass (single CSR traversal, no
+        // intermediate Csr). k=64 aggregation features is the headline
+        // configuration from the acceptance criteria.
+        let hp = init::features::<f32>(a.rows(), 64, 8);
+        report(
+            "pipeline_va_staged",
+            &id,
+            time_median(|| {
+                std::hint::black_box(attention::staged_forward_va(&a, &h, false));
+            }),
+        );
+        report(
+            "pipeline_va_onepass",
+            &id,
+            time_median(|| {
+                std::hint::black_box(attention::attention_forward_va(&a, &h, false));
+            }),
+        );
+        report(
+            "pipeline_agnn_staged",
+            &id,
+            time_median(|| {
+                std::hint::black_box(attention::staged_forward_agnn(&a, &h, &hp, 1.0f32, false));
+            }),
+        );
+        report(
+            "pipeline_agnn_onepass",
+            &id,
+            time_median(|| {
+                std::hint::black_box(attention::attention_forward_agnn(
+                    &a, &h, &hp, 1.0f32, false,
+                ));
+            }),
+        );
+        report(
+            "pipeline_gat_staged_k64",
+            &id,
+            time_median(|| {
+                std::hint::black_box(attention::staged_forward_gat(&a, &u, &v, &hp, 0.2, false));
+            }),
+        );
+        report(
+            "pipeline_gat_onepass_k64",
+            &id,
+            time_median(|| {
+                std::hint::black_box(attention::attention_forward_gat(
+                    &a, &u, &v, &hp, 0.2, false,
+                ));
             }),
         );
     }

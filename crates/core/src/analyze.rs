@@ -60,6 +60,10 @@ pub enum Rule {
     SemiringBackward,
     /// Rule 5: estimated communication volume exceeds the global bound.
     CommVolume,
+    /// Rule 6: a staged execution plan materializes a softmax sandwich
+    /// (sampler → softmax → aggregation) that the one-pass fused sweep
+    /// would keep virtual.
+    StagedSandwich,
 }
 
 impl Rule {
@@ -71,6 +75,7 @@ impl Rule {
             Rule::IllegalFusion => "illegal-fusion",
             Rule::SemiringBackward => "semiring-backward",
             Rule::CommVolume => "comm-volume",
+            Rule::StagedSandwich => "staged-sandwich",
         }
     }
 }
@@ -147,6 +152,85 @@ pub fn model_dags(kind: ModelKind) -> Vec<Dag> {
         ModelKind::Gat => vec![Dag::gat_forward(), Dag::gat_backward()],
         ModelKind::Gcn => vec![Dag::gcn_forward()],
     }
+}
+
+/// A softmax sandwich: a sparse sampler feeding (optionally through a
+/// graph softmax) an aggregation — the SDDMM→softmax→SpMM pattern the
+/// one-pass fused sweep executes in a single CSR traversal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sandwich {
+    /// The sampler node (`mask` / `sddmm`).
+    pub sampler: usize,
+    /// The softmax node, when the model has one (VA does not).
+    pub softmax: Option<usize>,
+    /// The aggregation (`spmm`) node consuming the scores.
+    pub aggregation: usize,
+}
+
+/// Finds every softmax sandwich in a DAG: `spmm` nodes whose sparse
+/// operand is a `row_softmax` of a sampler, or a sampler directly (the
+/// softmax-free VA pattern).
+pub fn detect_sandwiches(dag: &Dag) -> Vec<Sandwich> {
+    let nodes = dag.nodes();
+    let mut found = Vec::new();
+    for (id, node) in nodes.iter().enumerate() {
+        if classify(&node.op) != OpKind::SpMm {
+            continue;
+        }
+        let Some(&sparse) = node.inputs.first() else {
+            continue;
+        };
+        match classify(&nodes[sparse].op) {
+            OpKind::Softmax => {
+                if let Some(&below) = nodes[sparse].inputs.first() {
+                    if matches!(classify(&nodes[below].op), OpKind::Mask | OpKind::Sddmm) {
+                        found.push(Sandwich {
+                            sampler: below,
+                            softmax: Some(sparse),
+                            aggregation: id,
+                        });
+                    }
+                }
+            }
+            OpKind::Mask | OpKind::Sddmm => found.push(Sandwich {
+                sampler: sparse,
+                softmax: None,
+                aggregation: id,
+            }),
+            _ => {}
+        }
+    }
+    found
+}
+
+/// Validates an execution plan against the canned DAGs of `kind`: the
+/// model rules (1–4) always run; a staged plan additionally earns one
+/// `staged-sandwich` warning per detected sandwich, because the staged
+/// path materializes score matrices the one-pass fused sweep keeps
+/// virtual.
+pub fn validate_plan(plan: &crate::plan::ExecPlan, kind: ModelKind) -> Vec<Diagnostic> {
+    let mut diags = validate_model(kind);
+    if !plan.is_fused() {
+        for dag in model_dags(kind) {
+            for s in detect_sandwiches(&dag) {
+                let via = match s.softmax {
+                    Some(sm) => format!(" via softmax node {sm}"),
+                    None => String::new(),
+                };
+                diags.push(Diagnostic::warning(
+                    Rule::StagedSandwich,
+                    Some(s.aggregation),
+                    format!(
+                        "staged plan materializes the sandwich sampler node {}{via} \
+                         feeding aggregation node {}; the one-pass fused sweep \
+                         executes it in a single CSR traversal",
+                        s.sampler, s.aggregation
+                    ),
+                ));
+            }
+        }
+    }
+    diags
 }
 
 /// Debug-build hook: panics with the rendered diagnostics if the canned
@@ -1018,5 +1102,70 @@ mod tests {
         assert_eq!(d.to_string(), "error[shape-mismatch] @ node 7: boom");
         let w = Diagnostic::warning(Rule::CommVolume, None, "slow".into());
         assert_eq!(w.to_string(), "warning[comm-volume]: slow");
+    }
+
+    #[test]
+    fn detects_the_gat_forward_sandwich() {
+        let found = detect_sandwiches(&Dag::gat_forward());
+        assert!(
+            found.contains(&Sandwich {
+                sampler: 12,
+                softmax: Some(13),
+                aggregation: 14
+            }),
+            "missing the mask→row_softmax→spmm chain: {found:?}"
+        );
+    }
+
+    #[test]
+    fn detects_the_agnn_forward_sandwich() {
+        let found = detect_sandwiches(&Dag::agnn_forward());
+        assert!(
+            found
+                .iter()
+                .any(|s| s.sampler == 8 && s.softmax == Some(9) && s.aggregation == 11),
+            "missing the mask→row_softmax→spmm chain: {found:?}"
+        );
+    }
+
+    #[test]
+    fn detects_the_softmax_free_va_sandwich() {
+        let found = detect_sandwiches(&Dag::va_forward());
+        assert!(
+            found.contains(&Sandwich {
+                sampler: 4,
+                softmax: None,
+                aggregation: 5
+            }),
+            "missing the mask→spmm chain: {found:?}"
+        );
+    }
+
+    #[test]
+    fn gcn_has_no_sandwich() {
+        // GCN aggregates with a precomputed Â — there is no sampler to
+        // fuse with, so no sandwich and no staged-plan warning.
+        assert!(detect_sandwiches(&Dag::gcn_forward()).is_empty());
+        let staged = crate::plan::ExecPlan::staged().validate(ModelKind::Gcn);
+        assert!(staged.iter().all(|d| d.rule != Rule::StagedSandwich));
+    }
+
+    #[test]
+    fn staged_plan_warns_fused_plan_is_clean() {
+        let fused = crate::plan::ExecPlan::fused().validate(ModelKind::Gat);
+        assert!(
+            fused.iter().all(|d| d.rule != Rule::StagedSandwich),
+            "fused plan must not earn staged-sandwich warnings: {fused:?}"
+        );
+        let staged = crate::plan::ExecPlan::staged().validate(ModelKind::Gat);
+        let warnings: Vec<_> = staged
+            .iter()
+            .filter(|d| d.rule == Rule::StagedSandwich)
+            .collect();
+        assert!(
+            !warnings.is_empty(),
+            "staged GAT plan must warn about its materialized sandwich"
+        );
+        assert!(warnings.iter().all(|d| d.severity == Severity::Warning));
     }
 }

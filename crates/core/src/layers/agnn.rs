@@ -28,7 +28,8 @@
 //! ```
 
 use crate::layer::{AGnnLayer, BackwardResult, Gradients, LayerCache};
-use atgnn_sparse::{fused, masked, sddmm, spmm, Csr};
+use crate::plan::ExecPlan;
+use atgnn_sparse::{attention, masked, spmm, Csr};
 use atgnn_tensor::{blocks, gemm, init, ops, Activation, Dense, Scalar};
 
 /// An AGNN layer with parameters `W ∈ R^{k_in × k_out}` and the learnable
@@ -39,15 +40,18 @@ pub struct AgnnLayer<T: Scalar> {
     w: Dense<T>,
     beta: Vec<T>,
     activation: Activation,
+    plan: ExecPlan,
 }
 
 impl<T: Scalar> AgnnLayer<T> {
-    /// Creates a layer with Glorot weights and `β = 1`.
+    /// Creates a layer with Glorot weights and `β = 1`; the execution
+    /// plan comes from `ATGNN_EXEC` (fused one-pass by default).
     pub fn new(k_in: usize, k_out: usize, activation: Activation, seed: u64) -> Self {
         Self {
             w: init::glorot(k_in, k_out, seed),
             beta: vec![T::one()],
             activation,
+            plan: ExecPlan::from_env(),
         }
     }
 
@@ -57,7 +61,14 @@ impl<T: Scalar> AgnnLayer<T> {
             w,
             beta: vec![beta],
             activation,
+            plan: ExecPlan::from_env(),
         }
+    }
+
+    /// Overrides the execution plan (fused vs staged sandwich).
+    pub fn with_plan(mut self, plan: ExecPlan) -> Self {
+        self.plan = plan;
+        self
     }
 
     /// The temperature `β`.
@@ -72,8 +83,7 @@ impl<T: Scalar> AgnnLayer<T> {
 
     /// Computes the attention matrix `Ψ` (softmax of the scaled cosines).
     pub fn psi(&self, a: &Csr<T>, h: &Dense<T>) -> Csr<T> {
-        let (scores, _) = fused::agnn_scores(a, h, self.beta[0]);
-        masked::row_softmax(&scores)
+        attention::agnn_psi(a, h, self.beta[0])
     }
 }
 
@@ -87,16 +97,15 @@ impl<T: Scalar> AGnnLayer<T> for AgnnLayer<T> {
     }
 
     fn forward(&self, a: &Csr<T>, h: &Dense<T>, cache: Option<&mut LayerCache<T>>) -> Dense<T> {
-        let (scores, cos) = fused::agnn_scores(a, h, self.beta[0]);
-        let psi = masked::row_softmax(&scores);
         let hp = gemm::matmul(h, &self.w);
-        let z = spmm::spmm(&psi, &hp);
+        let fa =
+            attention::forward_agnn(self.plan.exec(), a, h, &hp, self.beta[0], cache.is_some());
         if let Some(c) = cache {
-            c.psi = Some(psi);
-            c.scores = Some(cos);
+            c.psi = fa.psi;
+            c.scores = fa.scores;
             c.h_proj = Some(hp);
         }
-        z
+        fa.out
     }
 
     fn backward(
@@ -116,14 +125,10 @@ impl<T: Scalar> AGnnLayer<T> for AgnnLayer<T> {
             .as_ref()
             .expect("AGNN backward needs cached HW");
         let beta = self.beta[0];
-        // D = A ⊙ (G (HW)ᵀ) and the softmax backward.
-        let d = sddmm::sddmm_pattern(a, g, hp);
-        let ds = masked::row_softmax_backward(psi, &d);
-        // ∂β = Σ ∂S ⊙ cos.
-        let dbeta: T = masked::row_dots(&ds, cos).into_iter().sum();
-        // ∂cos = β ∂S.
-        let dcos = ds.map_values(|v| beta * v);
-        // Cosine backward through the virtual n nᵀ normalization.
+        // Softmax backward, ∂β, the normalized gradient P = ∂cos ⊘ n nᵀ,
+        // the correction products ∂cos ⊙ cos (with row sums) and P H — one
+        // sweep on the fused path.
+        let bk = attention::backward_agnn(self.plan.exec(), a, psi, cos, h, hp, g, beta);
         let norms = blocks::row_l2_norms(h);
         let inv = |x: T| {
             if x == T::zero() {
@@ -132,29 +137,14 @@ impl<T: Scalar> AGnnLayer<T> for AgnnLayer<T> {
                 T::one() / x
             }
         };
-        // P_ij = ∂cos_ij / (n_i n_j).
-        let p = {
-            let mut vals = dcos.values().to_vec();
-            let indptr = dcos.indptr().to_vec();
-            let indices = dcos.indices();
-            for r in 0..dcos.rows() {
-                let ir = inv(norms[r]);
-                for idx in indptr[r]..indptr[r + 1] {
-                    vals[idx] *= ir * inv(norms[indices[idx] as usize]);
-                }
-            }
-            dcos.with_values(vals)
-        };
-        let mut dh = spmm::spmm(&p, h);
-        ops::add_assign(&mut dh, &spmm::spmm_t(&p, h));
+        let mut dh = bk.ph;
+        ops::add_assign(&mut dh, &spmm::spmm_t(&bk.p, h));
         // Diagonal corrections: −(Σ_j ∂cos_ij cos_ij / n_i²) h_i from the
         // row-norm dependence and the symmetric column term.
-        let tc = masked::hadamard(&dcos, cos);
-        let row_corr = masked::row_sums(&tc);
-        let col_corr = masked::col_sums(&tc);
+        let col_corr = masked::col_sums(&bk.tc);
         for i in 0..dh.rows() {
             let ni2 = inv(norms[i]) * inv(norms[i]);
-            let coef = (row_corr[i] + col_corr[i]) * ni2;
+            let coef = (bk.row_corr[i] + col_corr[i]) * ni2;
             let hrow = h.row(i);
             for (o, &hv) in dh.row_mut(i).iter_mut().zip(hrow) {
                 *o -= coef * hv;
@@ -166,7 +156,7 @@ impl<T: Scalar> AGnnLayer<T> for AgnnLayer<T> {
         ops::add_assign(&mut dh, &gemm::matmul_nt(&dhp, &self.w));
         BackwardResult {
             dh_in: dh,
-            grads: Gradients::from_slots(vec![dw.into_vec(), vec![dbeta]]),
+            grads: Gradients::from_slots(vec![dw.into_vec(), vec![bk.dbeta]]),
         }
     }
 

@@ -24,7 +24,8 @@
 //! ```
 
 use crate::layer::{AGnnLayer, BackwardResult, Gradients, LayerCache};
-use atgnn_sparse::{fused, masked, sddmm, spmm, Csr};
+use crate::plan::ExecPlan;
+use atgnn_sparse::{attention, masked, spmm, Csr};
 use atgnn_tensor::{gemm, init, Activation, Dense, Scalar};
 
 /// The GAT LeakyReLU slope from the original paper.
@@ -39,11 +40,13 @@ pub struct GatLayer<T: Scalar> {
     a_dst: Vec<T>,
     slope: f64,
     activation: Activation,
+    plan: ExecPlan,
 }
 
 impl<T: Scalar> GatLayer<T> {
     /// Creates a layer with Glorot-initialized parameters and the standard
-    /// LeakyReLU slope 0.2.
+    /// LeakyReLU slope 0.2; the execution plan comes from `ATGNN_EXEC`
+    /// (fused one-pass by default).
     pub fn new(k_in: usize, k_out: usize, activation: Activation, seed: u64) -> Self {
         Self {
             w: init::glorot(k_in, k_out, seed),
@@ -51,6 +54,7 @@ impl<T: Scalar> GatLayer<T> {
             a_dst: init::glorot_vec(k_out, seed ^ 0xa2),
             slope: GAT_SLOPE,
             activation,
+            plan: ExecPlan::from_env(),
         }
     }
 
@@ -70,7 +74,14 @@ impl<T: Scalar> GatLayer<T> {
             a_dst,
             slope,
             activation,
+            plan: ExecPlan::from_env(),
         }
+    }
+
+    /// Overrides the execution plan (fused vs staged sandwich).
+    pub fn with_plan(mut self, plan: ExecPlan) -> Self {
+        self.plan = plan;
+        self
     }
 
     /// The weight matrix `W`.
@@ -89,8 +100,7 @@ impl<T: Scalar> GatLayer<T> {
         let hp = gemm::matmul(h, &self.w);
         let u = gemm::matvec(&hp, &self.a_src);
         let v = gemm::matvec(&hp, &self.a_dst);
-        let (e, _) = fused::gat_scores(a, &u, &v, self.slope);
-        masked::row_softmax(&e)
+        attention::gat_psi(a, &u, &v, self.slope)
     }
 }
 
@@ -107,17 +117,23 @@ impl<T: Scalar> AGnnLayer<T> for GatLayer<T> {
         let hp = gemm::matmul(h, &self.w);
         let u = gemm::matvec(&hp, &self.a_src);
         let v = gemm::matvec(&hp, &self.a_dst);
-        let (e, c_pre) = fused::gat_scores(a, &u, &v, self.slope);
-        let psi = masked::row_softmax(&e);
-        let z = spmm::spmm(&psi, &hp);
+        let fa = attention::forward_gat(
+            self.plan.exec(),
+            a,
+            &u,
+            &v,
+            &hp,
+            self.slope,
+            cache.is_some(),
+        );
         if let Some(c) = cache {
-            c.psi = Some(psi);
-            c.scores = Some(c_pre);
+            c.psi = fa.psi;
+            c.scores = fa.scores;
             c.h_proj = Some(hp);
             c.u = Some(u);
             c.v = Some(v);
         }
-        z
+        fa.out
     }
 
     fn backward(
@@ -130,21 +146,10 @@ impl<T: Scalar> AGnnLayer<T> for GatLayer<T> {
         let psi = cache.psi.as_ref().expect("GAT backward needs cached Ψ");
         let c_pre = cache.scores.as_ref().expect("GAT backward needs cached C");
         let hp = cache.h_proj.as_ref().expect("GAT backward needs cached H'");
-        // D = A ⊙ (G H'ᵀ).
-        let d = sddmm::sddmm_pattern(a, g, hp);
-        // Softmax backward on the pattern.
-        let de = masked::row_softmax_backward(psi, &d);
-        // LeakyReLU backward at the cached pre-activation scores.
-        let lrelu = Activation::LeakyRelu(self.slope);
-        let dc_values: Vec<T> = de
-            .values()
-            .iter()
-            .zip(c_pre.values())
-            .map(|(&dv, &cv)| dv * lrelu.grad(cv))
-            .collect();
-        let dc = de.with_values(dc_values);
-        // ∂u = row sums, ∂v = column sums of ∂C.
-        let du = masked::row_sums(&dc);
+        // Softmax backward, LeakyReLU gradient and ∂u = row sums of ∂C —
+        // one sweep on the fused path.
+        let (dc, du) = attention::backward_gat(self.plan.exec(), a, psi, c_pre, hp, g, self.slope);
+        // ∂v = column sums of ∂C (a scatter, kept on the masked kernel).
         let dv = masked::col_sums(&dc);
         // ∂a₁ = H'ᵀ ∂u, ∂a₂ = H'ᵀ ∂v.
         let da_src = gemm::matvec_t(hp, &du);

@@ -21,7 +21,8 @@
 //! so `N₊ H` is evaluated as two SpMMs and no pattern union is formed.
 
 use crate::layer::{AGnnLayer, BackwardResult, Gradients, LayerCache};
-use atgnn_sparse::{fused, sddmm, spmm, Csr};
+use crate::plan::ExecPlan;
+use atgnn_sparse::{attention, spmm, Csr};
 use atgnn_tensor::{gemm, init, ops, Activation, Dense, Scalar};
 
 /// A vanilla-attention layer with parameters `W ∈ R^{k_in × k_out}`.
@@ -29,20 +30,33 @@ use atgnn_tensor::{gemm, init, ops, Activation, Dense, Scalar};
 pub struct VaLayer<T: Scalar> {
     w: Dense<T>,
     activation: Activation,
+    plan: ExecPlan,
 }
 
 impl<T: Scalar> VaLayer<T> {
-    /// Creates a layer with Glorot-initialized weights.
+    /// Creates a layer with Glorot-initialized weights; the execution
+    /// plan comes from `ATGNN_EXEC` (fused one-pass by default).
     pub fn new(k_in: usize, k_out: usize, activation: Activation, seed: u64) -> Self {
         Self {
             w: init::glorot(k_in, k_out, seed),
             activation,
+            plan: ExecPlan::from_env(),
         }
     }
 
     /// Creates a layer with explicit weights (tests, checkpoints).
     pub fn with_weights(w: Dense<T>, activation: Activation) -> Self {
-        Self { w, activation }
+        Self {
+            w,
+            activation,
+            plan: ExecPlan::from_env(),
+        }
+    }
+
+    /// Overrides the execution plan (fused vs staged sandwich).
+    pub fn with_plan(mut self, plan: ExecPlan) -> Self {
+        self.plan = plan;
+        self
     }
 
     /// The weight matrix.
@@ -52,7 +66,7 @@ impl<T: Scalar> VaLayer<T> {
 
     /// Computes the attention matrix `Ψ = A ⊙ (H Hᵀ)`.
     pub fn psi(a: &Csr<T>, h: &Dense<T>) -> Csr<T> {
-        fused::va_scores(a, h)
+        attention::va_psi(a, h)
     }
 }
 
@@ -66,14 +80,15 @@ impl<T: Scalar> AGnnLayer<T> for VaLayer<T> {
     }
 
     fn forward(&self, a: &Csr<T>, h: &Dense<T>, cache: Option<&mut LayerCache<T>>) -> Dense<T> {
-        let psi = Self::psi(a, h);
         // Aggregate-first keeps the SpMM at width k_in and produces the
-        // `Ψ H` term the weight gradient reuses.
-        let h_agg = spmm::spmm(&psi, h);
-        let z = gemm::matmul(&h_agg, &self.w);
+        // `Ψ H` term the weight gradient reuses; the one-pass path scores
+        // and aggregates in the same sweep, materializing Ψ only when the
+        // backward pass needs it.
+        let fa = attention::forward_va(self.plan.exec(), a, h, cache.is_some());
+        let z = gemm::matmul(&fa.out, &self.w);
         if let Some(c) = cache {
-            c.psi = Some(psi);
-            c.h_agg = Some(h_agg);
+            c.psi = fa.psi;
+            c.h_agg = Some(fa.out);
         }
         z
     }
@@ -89,10 +104,9 @@ impl<T: Scalar> AGnnLayer<T> for VaLayer<T> {
         let h_agg = cache.h_agg.as_ref().expect("VA backward needs cached ΨH");
         // M = G Wᵀ.
         let m = gemm::matmul_nt(g, &self.w);
-        // N = A ⊙ (M Hᵀ), same pattern as A.
-        let n = sddmm::sddmm_pattern(a, &m, h);
+        // N = A ⊙ (M Hᵀ) and N H in one sweep on the fused path.
         // ∂L/∂H = N H + Nᵀ H + Ψᵀ M.
-        let mut dh = spmm::spmm(&n, h);
+        let (n, mut dh) = attention::backward_va(self.plan.exec(), a, &m, h);
         ops::add_assign(&mut dh, &spmm::spmm_t(&n, h));
         ops::add_assign(&mut dh, &spmm::spmm_t(psi, &m));
         // Y = (Ψ H)ᵀ G.

@@ -50,8 +50,10 @@ pub mod layers;
 pub mod loss;
 pub mod model;
 pub mod optimizer;
+pub mod plan;
 pub mod train;
 
 pub use analyze::{Diagnostic, Rule, Severity};
 pub use layer::{AGnnLayer, Gradients, LayerCache};
 pub use model::{GnnModel, ModelKind};
+pub use plan::{AttentionExec, ExecPlan};

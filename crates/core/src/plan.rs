@@ -1,0 +1,76 @@
+//! Explicit execution plans for attentional layers.
+//!
+//! A plan records *how* a layer executes its score→softmax→aggregate
+//! sandwich: fused into one CSR sweep ([`AttentionExec::FusedOnePass`],
+//! the default — no intermediate score matrices on the hot path) or as
+//! three staged sweeps with materialized intermediates
+//! ([`AttentionExec::Staged`], the test oracle). Layer code never calls
+//! the staged score kernels directly; it dispatches through the plan, and
+//! [`crate::analyze::validate_plan`] lints plans that would materialize a
+//! softmax sandwich the fused path avoids.
+
+use crate::analyze::{self, Diagnostic};
+use crate::model::ModelKind;
+
+pub use atgnn_sparse::attention::AttentionExec;
+
+/// How a model's attentional layers execute their sandwiches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct ExecPlan {
+    exec: AttentionExec,
+}
+
+impl ExecPlan {
+    /// The one-pass fused plan (the default).
+    pub fn fused() -> Self {
+        Self {
+            exec: AttentionExec::FusedOnePass,
+        }
+    }
+
+    /// The staged oracle plan: three sweeps, materialized intermediates.
+    pub fn staged() -> Self {
+        Self {
+            exec: AttentionExec::Staged,
+        }
+    }
+
+    /// Reads `ATGNN_EXEC` (`"staged"` selects the oracle path; anything
+    /// else — including unset — selects the fused path).
+    pub fn from_env() -> Self {
+        match std::env::var("ATGNN_EXEC").as_deref() {
+            Ok("staged") => Self::staged(),
+            _ => Self::fused(),
+        }
+    }
+
+    /// The execution path this plan selects.
+    pub fn exec(&self) -> AttentionExec {
+        self.exec
+    }
+
+    /// Whether this plan runs the one-pass fused sweep.
+    pub fn is_fused(&self) -> bool {
+        self.exec == AttentionExec::FusedOnePass
+    }
+
+    /// Static-analyzes this plan against the canned DAGs of `kind`:
+    /// the model's own shape/fusion/semiring rules, plus a
+    /// `staged-sandwich` warning for every softmax sandwich a staged plan
+    /// would materialize.
+    pub fn validate(&self, kind: ModelKind) -> Vec<Diagnostic> {
+        analyze::validate_plan(self, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_fused() {
+        assert!(ExecPlan::default().is_fused());
+        assert_eq!(ExecPlan::fused(), ExecPlan::default());
+        assert_eq!(ExecPlan::staged().exec(), AttentionExec::Staged);
+    }
+}

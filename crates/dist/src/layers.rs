@@ -17,7 +17,8 @@
 //! (`O(nk/√p)`).
 
 use crate::context::DistContext;
-use atgnn_sparse::{fused, masked, sddmm, spmm, Csr};
+use atgnn_sparse::attention::{self, AttentionExec};
+use atgnn_sparse::{masked, sddmm, spmm, Csr};
 use atgnn_tensor::rt::{self, Cost, DisjointSlice};
 use atgnn_tensor::{blocks, gemm, ops, Activation, Dense, Scalar};
 
@@ -69,17 +70,28 @@ pub type DistGrads<T> = Vec<Vec<T>>;
 // ---------------------------------------------------------------------
 
 /// Distributed VA forward: `Ψ = A ⊙ (H Hᵀ)`, `Z = Ψ H W`.
+///
+/// On a 1×1 grid the whole sandwich lives on one rank, so the fused plan
+/// runs the one-pass sweep; on larger grids the softmax-free VA sandwich
+/// still needs `Ψ` materialized for the row reduction, so both plans take
+/// the staged block pipeline.
 pub fn forward_va<T: Scalar>(
     ctx: &DistContext<'_, T>,
+    exec: AttentionExec,
     w: &Dense<T>,
     h_j: &Dense<T>,
 ) -> DistCache<T> {
     // Row-side H_i: one broadcast along the grid row.
     let h_i = ctx.bcast_row_side(h_j);
-    // Fused SDDMM on the stationary block.
-    let psi = sddmm::sddmm_pattern(&ctx.a_block, &h_i, h_j);
-    // Local partial aggregation, then reduce + redistribute.
-    let partial = spmm::spmm(&psi, h_j);
+    let (psi, partial) = if exec == AttentionExec::FusedOnePass && ctx.grid.q == 1 {
+        let fa = attention::attention_forward_va(&ctx.a_block, h_j, true);
+        (fa.psi.expect("va fused sweep caches Ψ"), fa.out)
+    } else {
+        // SDDMM on the stationary block, then the local partial SpMM.
+        let psi = attention::staged_va_block_scores(&ctx.a_block, &h_i, h_j);
+        let partial = spmm::spmm(&psi, h_j);
+        (psi, partial)
+    };
     let h_agg = ctx.reduce_rows_redistribute(partial);
     let z = gemm::matmul(&h_agg, w);
     let mut cache = DistCache::new(h_j.clone());
@@ -231,20 +243,35 @@ pub fn backward_gin<T: Scalar>(
 
 /// Distributed AGNN forward:
 /// `Ψ = sm(A ⊙ (β · H Hᵀ ⊘ n nᵀ))`, `Z = Ψ H W`.
+/// On a 1×1 grid the softmax row reduction is local, so the fused plan
+/// runs the one-pass sweep; on larger grids the row reduction spans the
+/// grid row and the scores must be materialized for `dist_row_softmax`.
 pub fn forward_agnn<T: Scalar>(
     ctx: &DistContext<'_, T>,
+    exec: AttentionExec,
     w: &Dense<T>,
     beta: T,
     h_j: &Dense<T>,
 ) -> DistCache<T> {
     let h_i = ctx.bcast_row_side(h_j);
-    // Norms are local to each side (recomputed, cheaper than a message).
-    let n_i = blocks::row_l2_norms(&h_i);
-    let n_j = blocks::row_l2_norms(h_j);
-    let (scores, cos) = fused::agnn_scores_block(&ctx.a_block, &h_i, h_j, &n_i, &n_j, beta);
-    let psi = ctx.dist_row_softmax(&scores);
     let hp_j = gemm::matmul(h_j, w);
-    let partial = spmm::spmm(&psi, &hp_j);
+    let (psi, cos, partial) = if exec == AttentionExec::FusedOnePass && ctx.grid.q == 1 {
+        let fa = attention::attention_forward_agnn(&ctx.a_block, h_j, &hp_j, beta, true);
+        (
+            fa.psi.expect("agnn fused sweep caches Ψ"),
+            fa.scores.expect("agnn fused sweep caches cosines"),
+            fa.out,
+        )
+    } else {
+        // Norms are local to each side (recomputed, cheaper than a message).
+        let n_i = blocks::row_l2_norms(&h_i);
+        let n_j = blocks::row_l2_norms(h_j);
+        let (scores, cos) =
+            attention::staged_agnn_block_scores(&ctx.a_block, &h_i, h_j, &n_i, &n_j, beta);
+        let psi = ctx.dist_row_softmax(&scores);
+        let partial = spmm::spmm(&psi, &hp_j);
+        (psi, cos, partial)
+    };
     let z = ctx.reduce_rows_redistribute(partial);
     let mut cache = DistCache::new(h_j.clone());
     cache.z = z;
@@ -334,8 +361,11 @@ pub fn backward_agnn<T: Scalar>(
 
 /// Distributed GAT forward:
 /// `Ψ = sm(A ⊙ LeakyReLU(u 𝟙ᵀ + 𝟙 vᵀ))`, `Z = Ψ H'`.
+/// On a 1×1 grid the fused plan runs the one-pass sweep; larger grids
+/// need the staged block scores for the distributed softmax.
 pub fn forward_gat<T: Scalar>(
     ctx: &DistContext<'_, T>,
+    exec: AttentionExec,
     w: &Dense<T>,
     a_src: &[T],
     a_dst: &[T],
@@ -349,9 +379,19 @@ pub fn forward_gat<T: Scalar>(
     // broadcast instead of the O(nk/√p) feature block: the split
     // concatenation of Figure 2 is what makes this possible.
     let u_i = ctx.bcast_row_side_vec(&u_j);
-    let (e, c_pre) = fused::gat_scores(&ctx.a_block, &u_i, &v_j, slope);
-    let psi = ctx.dist_row_softmax(&e);
-    let partial = spmm::spmm(&psi, &hp_j);
+    let (psi, c_pre, partial) = if exec == AttentionExec::FusedOnePass && ctx.grid.q == 1 {
+        let fa = attention::attention_forward_gat(&ctx.a_block, &u_i, &v_j, &hp_j, slope, true);
+        (
+            fa.psi.expect("gat fused sweep caches Ψ"),
+            fa.scores.expect("gat fused sweep caches C"),
+            fa.out,
+        )
+    } else {
+        let (e, c_pre) = attention::staged_gat_block_scores(&ctx.a_block, &u_i, &v_j, slope);
+        let psi = ctx.dist_row_softmax(&e);
+        let partial = spmm::spmm(&psi, &hp_j);
+        (psi, c_pre, partial)
+    };
     let z = ctx.reduce_rows_redistribute(partial);
     let mut cache = DistCache::new(h_j.clone());
     cache.z = z;

@@ -14,7 +14,8 @@ use crate::layers::{
     forward_gat, forward_gcn, forward_gin, forward_va, DistCache, DistGrads,
 };
 use atgnn::layers::{AgnnLayer, GatLayer, GcnLayer, VaLayer};
-use atgnn::ModelKind;
+use atgnn::{ExecPlan, ModelKind};
+use atgnn_sparse::attention::AttentionExec;
 use atgnn_tensor::{ops, Activation, Dense, Scalar};
 
 /// One distributed layer: the replicated parameters plus the model tag.
@@ -83,7 +84,12 @@ impl<T: Scalar> DistLayer<T> {
         }
     }
 
-    fn forward(&self, ctx: &DistContext<'_, T>, h_j: &Dense<T>) -> DistCache<T> {
+    fn forward(
+        &self,
+        ctx: &DistContext<'_, T>,
+        exec: AttentionExec,
+        h_j: &Dense<T>,
+    ) -> DistCache<T> {
         // Rule 5 of the plan-time analyzer: the grid must keep this layer
         // within the paper's global communication bound.
         #[cfg(debug_assertions)]
@@ -93,14 +99,14 @@ impl<T: Scalar> DistLayer<T> {
             }
         }
         match self {
-            DistLayer::Va { w } => forward_va(ctx, w, h_j),
-            DistLayer::Agnn { w, beta } => forward_agnn(ctx, w, *beta, h_j),
+            DistLayer::Va { w } => forward_va(ctx, exec, w, h_j),
+            DistLayer::Agnn { w, beta } => forward_agnn(ctx, exec, w, *beta, h_j),
             DistLayer::Gat {
                 w,
                 a_src,
                 a_dst,
                 slope,
-            } => forward_gat(ctx, w, a_src, a_dst, *slope, h_j),
+            } => forward_gat(ctx, exec, w, a_src, a_dst, *slope, h_j),
             DistLayer::Gcn { w } => forward_gcn(ctx, w, h_j),
             DistLayer::Gin { w1, w2, eps } => forward_gin(ctx, w1, w2, *eps, h_j),
             DistLayer::GatMultiHead { heads, slope } => {
@@ -112,7 +118,7 @@ impl<T: Scalar> DistLayer<T> {
                 let mut z = Dense::zeros(rows, k_out);
                 let mut col = 0;
                 for (w, a_src, a_dst) in heads {
-                    let head_cache = forward_gat(ctx, w, a_src, a_dst, *slope, h_j);
+                    let head_cache = forward_gat(ctx, exec, w, a_src, a_dst, *slope, h_j);
                     for r in 0..rows {
                         z.row_mut(r)[col..col + w.cols()].copy_from_slice(head_cache.z.row(r));
                     }
@@ -184,6 +190,10 @@ impl<T: Scalar> DistLayer<T> {
 /// A distributed GNN: a stack of [`DistLayer`]s plus their activations.
 pub struct DistGnnModel<T: Scalar> {
     layers: Vec<(DistLayer<T>, Activation)>,
+    /// How the attentional sandwiches execute: the one-pass fused sweep
+    /// applies whenever a layer's softmax reduction is rank-local (1×1
+    /// grids); staged block pipelines otherwise.
+    exec: AttentionExec,
 }
 
 impl<T: Scalar> DistGnnModel<T> {
@@ -230,7 +240,16 @@ impl<T: Scalar> DistGnnModel<T> {
             };
             layers.push((layer, act));
         }
-        Self { layers }
+        Self {
+            layers,
+            exec: ExecPlan::from_env().exec(),
+        }
+    }
+
+    /// Overrides the attention execution path (fused vs staged).
+    pub fn with_exec(mut self, exec: AttentionExec) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Number of layers.
@@ -244,7 +263,7 @@ impl<T: Scalar> DistGnnModel<T> {
         let mut h = x_j.clone();
         for (layer, act) in &self.layers {
             ctx.comm.set_phase("forward");
-            let cache = layer.forward(ctx, &h);
+            let cache = layer.forward(ctx, self.exec, &h);
             h = act.apply(&cache.z);
         }
         h
@@ -260,7 +279,7 @@ impl<T: Scalar> DistGnnModel<T> {
         let mut caches = Vec::with_capacity(self.layers.len());
         for (layer, act) in &self.layers {
             ctx.comm.set_phase("forward");
-            let cache = layer.forward(ctx, &h);
+            let cache = layer.forward(ctx, self.exec, &h);
             h = act.apply(&cache.z);
             caches.push(cache);
         }
@@ -526,6 +545,7 @@ mod tests {
                     },
                     Activation::Identity,
                 )],
+                exec: AttentionExec::FusedOnePass,
             };
             let (c0, c1) = ctx.col_range();
             let x_j = x.slice_rows(c0, c1 - c0);
@@ -582,6 +602,7 @@ mod tests {
                     },
                     Activation::Identity,
                 )],
+                exec: AttentionExec::FusedOnePass,
             };
             let (c0, c1) = ctx.col_range();
             let x_j = x.slice_rows(c0, c1 - c0);

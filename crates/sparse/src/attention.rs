@@ -1,0 +1,1021 @@
+//! One-pass fused attention pipelines: SDDMM → softmax → SpMM in a single
+//! CSR sweep (paper Section 6.2, pushed through the *whole* sandwich).
+//!
+//! The staged execution of an attentional layer runs three separate
+//! traversals of the adjacency structure and allocates two intermediate
+//! score matrices per layer:
+//!
+//! ```text
+//!   staged:   E = A ⊙ s(H)      (SDDMM sweep, allocates E)
+//!             Ψ = sm(E)         (softmax sweep, allocates Ψ)
+//!             Z = Ψ H'          (SpMM sweep)
+//! ```
+//!
+//! The fused kernels here collapse the sandwich into one sweep per
+//! nnz-balanced row chunk of the `rt` pool — the FusedMM pattern:
+//!
+//! ```text
+//!   row i:   indices[rlo..rhi] ──┬─► e_j = score(i, j)
+//!            (one pass over the  │   (dot / cosine / u+v)
+//!             stored entries)    │
+//!                                ├─► p_j = exp(e_j − m) / Σ   (L1-resident row)
+//!                                │
+//!                                └─► z[i, t0..t1] += p_j · h'[j, t0..t1]
+//!                                    (feature tiles of ATGNN_COL_TILE cols)
+//! ```
+//!
+//! No intermediate score `Csr` is allocated on the hot path: the row of
+//! scores lives in per-thread scratch (`rt::with_scratch`) — or directly in
+//! the caller's cache buffer when training needs `Ψ` for the backward pass.
+//! The softmax *streams with the sweep*: because the graph softmax of
+//! Section 4.2 reduces over a single CSR row, the whole normalization
+//! finalizes on the L1-resident row buffer as soon as the row is scored
+//! (max fold, exp + sum, divide) — one exp per stored entry, in the same
+//! floating-point order as the staged [`masked::row_softmax`], and never
+//! a second traversal of the adjacency structure. The aggregation
+//! processes feature columns in tiles so a hot row of `H'` stays in cache
+//! across a neighborhood, while the per-output-element accumulation order
+//! over neighbors stays identical to [`crate::spmm::spmm`] — tile sizes
+//! change only the outer loop, never the neighbor order, so results are
+//! bit-identical across `ATGNN_THREADS` *and* `ATGNN_COL_TILE`.
+//!
+//! The staged kernels remain available behind [`AttentionExec::Staged`] as
+//! the test oracle; layer code selects a path through an `ExecPlan` (in
+//! `atgnn::plan`) rather than calling score kernels directly.
+
+use crate::csr::Csr;
+use crate::{fused, masked, sddmm, spmm};
+use atgnn_tensor::rt::{self, Cost, DisjointSlice, Tunable};
+use atgnn_tensor::{blocks, gemm, Activation, Dense, Scalar};
+
+/// Stored entries below which the fused attention sweeps stay sequential.
+/// Override with `ATGNN_ATTENTION_PAR_THRESHOLD` (`0` forces parallel).
+static PAR_THRESHOLD: Tunable = Tunable::new("ATGNN_ATTENTION_PAR_THRESHOLD", 4 * 1024);
+
+/// Feature columns per aggregation tile. The default (128 columns, 1 KiB
+/// per f64 row slice) keeps one source row slice, one output row slice and
+/// the score row comfortably inside L2 even for hub rows with thousands of
+/// neighbors. Override with `ATGNN_COL_TILE`.
+static COL_TILE: Tunable = Tunable::new("ATGNN_COL_TILE", 128);
+
+/// How an attentional layer executes its score→softmax→aggregate sandwich.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AttentionExec {
+    /// One CSR sweep: scores, streaming softmax and aggregation fused
+    /// (no intermediate score matrices on the hot path).
+    #[default]
+    FusedOnePass,
+    /// Three sweeps with materialized intermediates — the reference
+    /// pipeline, kept as the oracle for equivalence tests.
+    Staged,
+}
+
+/// The result of one fused attention forward sweep.
+pub struct FusedAttention<T: Scalar> {
+    /// The aggregation `softmax(C) @ H'` (raw scores for VA, which has no
+    /// softmax).
+    pub out: Dense<T>,
+    /// The attention matrix `Ψ`, materialized only when the caller asked
+    /// for training caches.
+    pub psi: Option<Csr<T>>,
+    /// The model-specific secondary cache (AGNN cosines, GAT
+    /// pre-activation scores), only with training caches.
+    pub scores: Option<Csr<T>>,
+}
+
+/// Aggregates one output row: `out_row[t] += p_j · src[j, t]` for every
+/// stored neighbor `j`, processing feature columns in `tile`-wide slices
+/// so `src` rows are reused from cache across the neighborhood. The inner
+/// loop order (neighbors in storage order per output element) matches
+/// [`crate::spmm::spmm`] exactly, so the floating-point result does not
+/// depend on the tile size.
+#[inline]
+fn aggregate_row<T: Scalar>(out_row: &mut [T], cols: &[u32], p: &[T], src: &Dense<T>, tile: usize) {
+    let k = out_row.len();
+    let mut t0 = 0;
+    while t0 < k {
+        let t1 = (t0 + tile).min(k);
+        let out_t = &mut out_row[t0..t1];
+        for (&c, &pv) in cols.iter().zip(p) {
+            let srow = &src.row(c as usize)[t0..t1];
+            for (o, &sv) in out_t.iter_mut().zip(srow) {
+                *o += pv * sv;
+            }
+        }
+        t0 = t1;
+    }
+}
+
+/// The shared one-pass driver: per nnz-balanced row chunk, let the model
+/// score one row at a time (`score_row(r, cols, scores, secondary)` with
+/// its own hoisted inner loop, exactly like the staged kernels), apply the
+/// row softmax on the still-resident score buffer (when the model has
+/// one), and aggregate `src` rows under the resulting weights — one
+/// traversal of `indptr`/`indices` total.
+///
+/// With `want_cache` the (softmaxed) scores land in the future `Ψ` value
+/// array and the secondary values in their own array; without it the row
+/// of scores lives in per-thread scratch and **no** `Csr` value array is
+/// ever created (asserted by tests via [`crate::csr::value_allocs`]).
+fn fused_sweep<T: Scalar>(
+    a: &Csr<T>,
+    src: &Dense<T>,
+    softmax: bool,
+    want_cache: bool,
+    want_secondary: bool,
+    score_row: impl Fn(usize, &[u32], &mut [T], Option<&mut [T]>) + Sync,
+) -> FusedAttention<T> {
+    assert_eq!(a.cols(), src.rows(), "attention: A cols must match H rows");
+    let k = src.cols();
+    let nnz = a.nnz();
+    let indptr = a.indptr();
+    let indices = a.indices();
+    let tile = COL_TILE.get().max(1);
+    let parallel = nnz >= PAR_THRESHOLD.get();
+    let mut out = Dense::zeros(a.rows(), k);
+    let mut psi_values: Vec<T> = if want_cache {
+        vec![T::zero(); nnz]
+    } else {
+        Vec::new()
+    };
+    let mut sec_values: Vec<T> = if want_cache && want_secondary {
+        vec![T::zero(); nnz]
+    } else {
+        Vec::new()
+    };
+    {
+        let out_slots = DisjointSlice::new(out.as_mut_slice());
+        let psi_slots = DisjointSlice::new(&mut psi_values);
+        let sec_slots = DisjointSlice::new(&mut sec_values);
+        rt::parallel_for(a.rows(), Cost::Prefix(indptr), parallel, |lo, hi| {
+            // SAFETY: row ranges are disjoint across chunk bodies, and
+            // indptr is monotone, so the value ranges are disjoint too.
+            let out_part = unsafe { out_slots.range_mut(lo * k, hi * k) };
+            let (s0, s1) = (indptr[lo], indptr[hi]);
+            // SAFETY: as above — each chunk owns `indptr[lo]..indptr[hi]`.
+            let mut psi_part = want_cache.then(|| unsafe { psi_slots.range_mut(s0, s1) });
+            // SAFETY: as above.
+            let mut sec_part =
+                (want_cache && want_secondary).then(|| unsafe { sec_slots.range_mut(s0, s1) });
+            rt::with_scratch::<T, _>(|ebuf| {
+                for (r, out_row) in (lo..hi).zip(out_part.chunks_mut(k.max(1))) {
+                    let (rlo, rhi) = (indptr[r], indptr[r + 1]);
+                    let cols = &indices[rlo..rhi];
+                    let e: &mut [T] = match psi_part.as_deref_mut() {
+                        Some(p) => &mut p[rlo - s0..rhi - s0],
+                        None => {
+                            // Grow-only: every slot is overwritten by the
+                            // score loop, so stale tails never get read.
+                            if ebuf.len() < rhi - rlo {
+                                ebuf.resize(rhi - rlo, T::zero());
+                            }
+                            &mut ebuf[..rhi - rlo]
+                        }
+                    };
+                    let sec = sec_part.as_deref_mut().map(|p| &mut p[rlo - s0..rhi - s0]);
+                    score_row(r, cols, e, sec);
+                    // The softmax finalizes on the still-resident row
+                    // buffer — max fold, exp + sum, divide — without ever
+                    // re-traversing the adjacency structure, with exactly
+                    // one exp per stored entry, in the same
+                    // floating-point order as the staged
+                    // [`masked::row_softmax`].
+                    if softmax && !e.is_empty() {
+                        let m = e
+                            .iter()
+                            .copied()
+                            .fold(T::neg_infinity(), |acc, b| Scalar::max(acc, b));
+                        let mut total = T::zero();
+                        for v in e.iter_mut() {
+                            *v = (*v - m).exp();
+                            total += *v;
+                        }
+                        for v in e.iter_mut() {
+                            *v /= total;
+                        }
+                    }
+                    aggregate_row(out_row, cols, e, src, tile);
+                }
+            });
+        });
+    }
+    FusedAttention {
+        out,
+        psi: want_cache.then(|| a.with_values(psi_values)),
+        scores: (want_cache && want_secondary).then(|| a.with_values(sec_values)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-pass fused forward kernels
+// ---------------------------------------------------------------------------
+
+/// Fused VA forward: `Z' = (A ⊙ (H Hᵀ)) H` in one sweep. VA applies no
+/// softmax — `psi` caches the *raw* scores `Ψ = A ⊙ (H Hᵀ)`.
+pub fn attention_forward_va<T: Scalar>(
+    a: &Csr<T>,
+    h: &Dense<T>,
+    want_cache: bool,
+) -> FusedAttention<T> {
+    assert_eq!(a.rows(), h.rows(), "va attention: A rows must match H rows");
+    fused_sweep(a, h, false, want_cache, false, |r, cols, e, _| {
+        let hr = h.row(r);
+        for (slot, &c) in e.iter_mut().zip(cols) {
+            *slot = gemm::dot(hr, h.row(c as usize));
+        }
+    })
+}
+
+/// Fused AGNN forward: `Z = sm(A ⊙ (β · H Hᵀ ⊘ n nᵀ)) H'` in one sweep
+/// (`H' = H W`, projected by the caller). `scores` caches the raw cosines
+/// the backward pass needs; zero-norm endpoints give a zero cosine.
+pub fn attention_forward_agnn<T: Scalar>(
+    a: &Csr<T>,
+    h: &Dense<T>,
+    hp: &Dense<T>,
+    beta: T,
+    want_cache: bool,
+) -> FusedAttention<T> {
+    assert_eq!(
+        a.rows(),
+        h.rows(),
+        "agnn attention: A rows must match H rows"
+    );
+    let norms = blocks::row_l2_norms(h);
+    fused_sweep(a, hp, true, want_cache, true, move |r, cols, e, sec| {
+        let hr = h.row(r);
+        let nr = norms[r];
+        let cos_of = |c: usize| {
+            let denom = nr * norms[c];
+            if denom == T::zero() {
+                T::zero()
+            } else {
+                gemm::dot(hr, h.row(c)) / denom
+            }
+        };
+        match sec {
+            Some(sec) => {
+                for ((slot, cache), &c) in e.iter_mut().zip(sec.iter_mut()).zip(cols) {
+                    let cos = cos_of(c as usize);
+                    *cache = cos;
+                    *slot = beta * cos;
+                }
+            }
+            None => {
+                for (slot, &c) in e.iter_mut().zip(cols) {
+                    *slot = beta * cos_of(c as usize);
+                }
+            }
+        }
+    })
+}
+
+/// Fused GAT forward: `Z = sm(A ⊙ LeakyReLU(u 𝟙ᵀ + 𝟙 vᵀ)) H'` in one
+/// sweep. `scores` caches the pre-activation values `C_ij = u_i + v_j`.
+pub fn attention_forward_gat<T: Scalar>(
+    a: &Csr<T>,
+    u: &[T],
+    v: &[T],
+    hp: &Dense<T>,
+    slope: f64,
+    want_cache: bool,
+) -> FusedAttention<T> {
+    assert_eq!(a.rows(), u.len(), "gat attention: u length mismatch");
+    assert_eq!(a.cols(), v.len(), "gat attention: v length mismatch");
+    let act = Activation::LeakyRelu(slope);
+    fused_sweep(a, hp, true, want_cache, true, move |r, cols, e, sec| {
+        let ur = u[r];
+        match sec {
+            Some(sec) => {
+                for ((slot, cache), &c) in e.iter_mut().zip(sec.iter_mut()).zip(cols) {
+                    let pre = ur + v[c as usize];
+                    *cache = pre;
+                    *slot = act.eval(pre);
+                }
+            }
+            None => {
+                for (slot, &c) in e.iter_mut().zip(cols) {
+                    *slot = act.eval(ur + v[c as usize]);
+                }
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// One-pass fused backward kernels
+// ---------------------------------------------------------------------------
+
+/// Fused VA backward sweep: computes `N = A ⊙ (M Hᵀ)` *and* `N H` in one
+/// traversal (the layer still needs `N` itself for the `Nᵀ H` scatter).
+/// Returns `(N, N H)`.
+pub fn attention_backward_va<T: Scalar>(
+    a: &Csr<T>,
+    m: &Dense<T>,
+    h: &Dense<T>,
+) -> (Csr<T>, Dense<T>) {
+    assert_eq!(a.rows(), m.rows(), "va backward: A rows must match M rows");
+    let fa = fused_sweep(a, h, false, true, false, |r, cols, e, _| {
+        let mr = m.row(r);
+        for (slot, &c) in e.iter_mut().zip(cols) {
+            *slot = gemm::dot(mr, h.row(c as usize));
+        }
+    });
+    (fa.psi.expect("va backward: sweep always caches N"), fa.out)
+}
+
+/// Fused GAT backward sweep. Replays the row sweep once: per stored entry
+/// the upstream edge gradient `D_ij = ⟨g_i, h'_j⟩` goes to scratch while
+/// the row dot `Σ_j Ψ_ij D_ij` accumulates, then the softmax backward
+/// `∂E = Ψ ⊙ (D − rep(rowdot))` and the LeakyReLU gradient at the cached
+/// pre-activation fold into `∂C` — whose row sums (`∂u`) fall out of the
+/// same pass. Returns `(∂C, ∂u)`; the column sums `∂v` are a scatter and
+/// stay on the existing sequential kernel.
+pub fn attention_backward_gat<T: Scalar>(
+    a: &Csr<T>,
+    psi: &Csr<T>,
+    c_pre: &Csr<T>,
+    hp: &Dense<T>,
+    g: &Dense<T>,
+    slope: f64,
+) -> (Csr<T>, Vec<T>) {
+    assert!(
+        a.same_pattern(psi),
+        "gat backward: Ψ must share A's pattern"
+    );
+    assert!(
+        a.same_pattern(c_pre),
+        "gat backward: C must share A's pattern"
+    );
+    let act = Activation::LeakyRelu(slope);
+    let indptr = a.indptr();
+    let indices = a.indices();
+    let psi_v = psi.values();
+    let pre_v = c_pre.values();
+    let nnz = a.nnz();
+    let mut dc_values = vec![T::zero(); nnz];
+    let mut du = vec![T::zero(); a.rows()];
+    let parallel = nnz >= PAR_THRESHOLD.get();
+    {
+        let dc_slots = DisjointSlice::new(&mut dc_values);
+        let du_slots = DisjointSlice::new(&mut du);
+        rt::parallel_for(a.rows(), Cost::Prefix(indptr), parallel, |lo, hi| {
+            // SAFETY: row ranges are disjoint across chunk bodies; indptr
+            // is monotone, so the value ranges are disjoint too.
+            let dc_part = unsafe { dc_slots.range_mut(indptr[lo], indptr[hi]) };
+            // SAFETY: as above.
+            let du_part = unsafe { du_slots.range_mut(lo, hi) };
+            let base = indptr[lo];
+            rt::with_scratch::<T, _>(|dbuf| {
+                for (r, du_r) in (lo..hi).zip(du_part.iter_mut()) {
+                    let (rlo, rhi) = (indptr[r], indptr[r + 1]);
+                    dbuf.clear();
+                    dbuf.resize(rhi - rlo, T::zero());
+                    let grow = g.row(r);
+                    let mut rdot = T::zero();
+                    for (d, idx) in dbuf.iter_mut().zip(rlo..rhi) {
+                        let dv = gemm::dot(grow, hp.row(indices[idx] as usize));
+                        *d = dv;
+                        rdot += psi_v[idx] * dv;
+                    }
+                    let mut du_acc = T::zero();
+                    for (&d, idx) in dbuf.iter().zip(rlo..rhi) {
+                        let de = psi_v[idx] * (d - rdot);
+                        let dc = de * act.grad(pre_v[idx]);
+                        dc_part[idx - base] = dc;
+                        du_acc += dc;
+                    }
+                    *du_r = du_acc;
+                }
+            });
+        });
+    }
+    (a.with_values(dc_values), du)
+}
+
+/// Everything the AGNN layer tail needs from the fused backward sweep.
+pub struct AgnnBackward<T: Scalar> {
+    /// `P = ∂cos ⊘ (n nᵀ)` on the pattern (the layer scatters `Pᵀ H`).
+    pub p: Csr<T>,
+    /// `P H`, aggregated inside the sweep.
+    pub ph: Dense<T>,
+    /// `∂cos ⊙ cos` — the layer takes its column sums.
+    pub tc: Csr<T>,
+    /// Row sums of `tc`, accumulated inside the sweep.
+    pub row_corr: Vec<T>,
+    /// `∂β = Σ ∂S ⊙ cos`.
+    pub dbeta: T,
+}
+
+/// Fused AGNN backward sweep: one traversal produces the softmax backward,
+/// `∂β`, the normalized gradient `P`, the correction products `∂cos ⊙ cos`
+/// with their row sums, and the aggregation `P H`. Scatter-shaped pieces
+/// (`Pᵀ H`, column sums) stay on the existing deterministic kernels in the
+/// layer.
+pub fn attention_backward_agnn<T: Scalar>(
+    a: &Csr<T>,
+    psi: &Csr<T>,
+    cos: &Csr<T>,
+    h: &Dense<T>,
+    hp: &Dense<T>,
+    g: &Dense<T>,
+    beta: T,
+) -> AgnnBackward<T> {
+    assert!(
+        a.same_pattern(psi),
+        "agnn backward: Ψ must share A's pattern"
+    );
+    assert!(
+        a.same_pattern(cos),
+        "agnn backward: cos must share A's pattern"
+    );
+    let norms = blocks::row_l2_norms(h);
+    let inv = |x: T| {
+        if x == T::zero() {
+            T::zero()
+        } else {
+            T::one() / x
+        }
+    };
+    let indptr = a.indptr();
+    let indices = a.indices();
+    let psi_v = psi.values();
+    let cos_v = cos.values();
+    let nnz = a.nnz();
+    let k = h.cols();
+    let tile = COL_TILE.get().max(1);
+    let mut p_values = vec![T::zero(); nnz];
+    let mut tc_values = vec![T::zero(); nnz];
+    let mut ph = Dense::zeros(a.rows(), k);
+    let mut row_corr = vec![T::zero(); a.rows()];
+    let mut dbeta_rows = vec![T::zero(); a.rows()];
+    let parallel = nnz >= PAR_THRESHOLD.get();
+    {
+        let p_slots = DisjointSlice::new(&mut p_values);
+        let tc_slots = DisjointSlice::new(&mut tc_values);
+        let ph_slots = DisjointSlice::new(ph.as_mut_slice());
+        let corr_slots = DisjointSlice::new(&mut row_corr);
+        let dbeta_slots = DisjointSlice::new(&mut dbeta_rows);
+        rt::parallel_for(a.rows(), Cost::Prefix(indptr), parallel, |lo, hi| {
+            // SAFETY: row ranges are disjoint across chunk bodies; indptr
+            // is monotone, so the value ranges are disjoint too.
+            let p_part = unsafe { p_slots.range_mut(indptr[lo], indptr[hi]) };
+            // SAFETY: as above.
+            let tc_part = unsafe { tc_slots.range_mut(indptr[lo], indptr[hi]) };
+            // SAFETY: as above.
+            let ph_part = unsafe { ph_slots.range_mut(lo * k, hi * k) };
+            // SAFETY: as above.
+            let corr_part = unsafe { corr_slots.range_mut(lo, hi) };
+            // SAFETY: as above.
+            let dbeta_part = unsafe { dbeta_slots.range_mut(lo, hi) };
+            let base = indptr[lo];
+            rt::with_scratch::<T, _>(|dbuf| {
+                for (i, (r, ph_row)) in (lo..hi).zip(ph_part.chunks_mut(k.max(1))).enumerate() {
+                    let (rlo, rhi) = (indptr[r], indptr[r + 1]);
+                    let cols = &indices[rlo..rhi];
+                    dbuf.clear();
+                    dbuf.resize(rhi - rlo, T::zero());
+                    let grow = g.row(r);
+                    let mut rdot = T::zero();
+                    for (d, idx) in dbuf.iter_mut().zip(rlo..rhi) {
+                        let dv = gemm::dot(grow, hp.row(indices[idx] as usize));
+                        *d = dv;
+                        rdot += psi_v[idx] * dv;
+                    }
+                    let ir = inv(norms[r]);
+                    let mut dbeta_acc = T::zero();
+                    let mut corr_acc = T::zero();
+                    for (&d, idx) in dbuf.iter().zip(rlo..rhi) {
+                        let ds = psi_v[idx] * (d - rdot);
+                        dbeta_acc += ds * cos_v[idx];
+                        let dcos = beta * ds;
+                        let tcv = dcos * cos_v[idx];
+                        tc_part[idx - base] = tcv;
+                        corr_acc += tcv;
+                        // Match the staged evaluation order exactly:
+                        // dcos · (n_i⁻¹ · n_j⁻¹).
+                        p_part[idx - base] = dcos * (ir * inv(norms[indices[idx] as usize]));
+                    }
+                    dbeta_part[i] = dbeta_acc;
+                    corr_part[i] = corr_acc;
+                    aggregate_row(ph_row, cols, &p_part[rlo - base..rhi - base], h, tile);
+                }
+            });
+        });
+    }
+    // Sequential reduction in row order — bit-identical for every thread
+    // count, and identical to the staged `row_dots(∂S, cos).sum()`.
+    let dbeta = dbeta_rows.into_iter().sum();
+    AgnnBackward {
+        p: a.with_values(p_values),
+        ph,
+        tc: a.with_values(tc_values),
+        row_corr,
+        dbeta,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Staged oracle pipelines
+// ---------------------------------------------------------------------------
+
+/// Staged VA forward: materialized scores, then SpMM — the pre-fusion
+/// pipeline, kept as the equivalence-test oracle.
+pub fn staged_forward_va<T: Scalar>(
+    a: &Csr<T>,
+    h: &Dense<T>,
+    want_cache: bool,
+) -> FusedAttention<T> {
+    let psi = fused::va_scores(a, h);
+    let out = spmm::spmm(&psi, h);
+    FusedAttention {
+        out,
+        psi: want_cache.then_some(psi),
+        scores: None,
+    }
+}
+
+/// Staged AGNN forward: fused score kernel, materialized softmax, SpMM.
+pub fn staged_forward_agnn<T: Scalar>(
+    a: &Csr<T>,
+    h: &Dense<T>,
+    hp: &Dense<T>,
+    beta: T,
+    want_cache: bool,
+) -> FusedAttention<T> {
+    let (scores, cos) = fused::agnn_scores(a, h, beta);
+    let psi = masked::row_softmax(&scores);
+    let out = spmm::spmm(&psi, hp);
+    FusedAttention {
+        out,
+        psi: want_cache.then_some(psi),
+        scores: want_cache.then_some(cos),
+    }
+}
+
+/// Staged GAT forward: fused score kernel, materialized softmax, SpMM.
+pub fn staged_forward_gat<T: Scalar>(
+    a: &Csr<T>,
+    u: &[T],
+    v: &[T],
+    hp: &Dense<T>,
+    slope: f64,
+    want_cache: bool,
+) -> FusedAttention<T> {
+    let (e, c_pre) = fused::gat_scores(a, u, v, slope);
+    let psi = masked::row_softmax(&e);
+    let out = spmm::spmm(&psi, hp);
+    FusedAttention {
+        out,
+        psi: want_cache.then_some(psi),
+        scores: want_cache.then_some(c_pre),
+    }
+}
+
+/// Staged VA backward: SDDMM then SpMM, materializing `N` in between.
+pub fn staged_backward_va<T: Scalar>(a: &Csr<T>, m: &Dense<T>, h: &Dense<T>) -> (Csr<T>, Dense<T>) {
+    let n = sddmm::sddmm_pattern(a, m, h);
+    let nh = spmm::spmm(&n, h);
+    (n, nh)
+}
+
+/// Staged GAT backward: SDDMM, softmax backward, activation gradient and
+/// row sums as separate passes.
+pub fn staged_backward_gat<T: Scalar>(
+    a: &Csr<T>,
+    psi: &Csr<T>,
+    c_pre: &Csr<T>,
+    hp: &Dense<T>,
+    g: &Dense<T>,
+    slope: f64,
+) -> (Csr<T>, Vec<T>) {
+    let d = sddmm::sddmm_pattern(a, g, hp);
+    let de = masked::row_softmax_backward(psi, &d);
+    let act = Activation::LeakyRelu(slope);
+    let dc = masked::zip_values(&de, c_pre, |dv, cv| dv * act.grad(cv));
+    let du = masked::row_sums(&dc);
+    (dc, du)
+}
+
+/// Staged AGNN backward: the original multi-pass pipeline.
+pub fn staged_backward_agnn<T: Scalar>(
+    a: &Csr<T>,
+    psi: &Csr<T>,
+    cos: &Csr<T>,
+    h: &Dense<T>,
+    hp: &Dense<T>,
+    g: &Dense<T>,
+    beta: T,
+) -> AgnnBackward<T> {
+    let d = sddmm::sddmm_pattern(a, g, hp);
+    let ds = masked::row_softmax_backward(psi, &d);
+    let dbeta: T = masked::row_dots(&ds, cos).into_iter().sum();
+    let dcos = ds.map_values(|v| beta * v);
+    let norms = blocks::row_l2_norms(h);
+    let inv = |x: T| {
+        if x == T::zero() {
+            T::zero()
+        } else {
+            T::one() / x
+        }
+    };
+    let p = {
+        let mut vals = dcos.values().to_vec();
+        let indptr = dcos.indptr().to_vec();
+        let indices = dcos.indices();
+        for r in 0..dcos.rows() {
+            let ir = inv(norms[r]);
+            for idx in indptr[r]..indptr[r + 1] {
+                vals[idx] *= ir * inv(norms[indices[idx] as usize]);
+            }
+        }
+        dcos.with_values(vals)
+    };
+    let ph = spmm::spmm(&p, h);
+    let tc = masked::hadamard(&dcos, cos);
+    let row_corr = masked::row_sums(&tc);
+    AgnnBackward {
+        p,
+        ph,
+        tc,
+        row_corr,
+        dbeta,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exec dispatchers — the only entry points layer code should use
+// ---------------------------------------------------------------------------
+
+/// VA forward through the selected execution path.
+pub fn forward_va<T: Scalar>(
+    exec: AttentionExec,
+    a: &Csr<T>,
+    h: &Dense<T>,
+    want_cache: bool,
+) -> FusedAttention<T> {
+    match exec {
+        AttentionExec::FusedOnePass => attention_forward_va(a, h, want_cache),
+        AttentionExec::Staged => staged_forward_va(a, h, want_cache),
+    }
+}
+
+/// AGNN forward through the selected execution path.
+pub fn forward_agnn<T: Scalar>(
+    exec: AttentionExec,
+    a: &Csr<T>,
+    h: &Dense<T>,
+    hp: &Dense<T>,
+    beta: T,
+    want_cache: bool,
+) -> FusedAttention<T> {
+    match exec {
+        AttentionExec::FusedOnePass => attention_forward_agnn(a, h, hp, beta, want_cache),
+        AttentionExec::Staged => staged_forward_agnn(a, h, hp, beta, want_cache),
+    }
+}
+
+/// GAT forward through the selected execution path.
+pub fn forward_gat<T: Scalar>(
+    exec: AttentionExec,
+    a: &Csr<T>,
+    u: &[T],
+    v: &[T],
+    hp: &Dense<T>,
+    slope: f64,
+    want_cache: bool,
+) -> FusedAttention<T> {
+    match exec {
+        AttentionExec::FusedOnePass => attention_forward_gat(a, u, v, hp, slope, want_cache),
+        AttentionExec::Staged => staged_forward_gat(a, u, v, hp, slope, want_cache),
+    }
+}
+
+/// VA backward through the selected execution path.
+pub fn backward_va<T: Scalar>(
+    exec: AttentionExec,
+    a: &Csr<T>,
+    m: &Dense<T>,
+    h: &Dense<T>,
+) -> (Csr<T>, Dense<T>) {
+    match exec {
+        AttentionExec::FusedOnePass => attention_backward_va(a, m, h),
+        AttentionExec::Staged => staged_backward_va(a, m, h),
+    }
+}
+
+/// GAT backward through the selected execution path.
+#[allow(clippy::too_many_arguments)]
+pub fn backward_gat<T: Scalar>(
+    exec: AttentionExec,
+    a: &Csr<T>,
+    psi: &Csr<T>,
+    c_pre: &Csr<T>,
+    hp: &Dense<T>,
+    g: &Dense<T>,
+    slope: f64,
+) -> (Csr<T>, Vec<T>) {
+    match exec {
+        AttentionExec::FusedOnePass => attention_backward_gat(a, psi, c_pre, hp, g, slope),
+        AttentionExec::Staged => staged_backward_gat(a, psi, c_pre, hp, g, slope),
+    }
+}
+
+/// AGNN backward through the selected execution path.
+#[allow(clippy::too_many_arguments)]
+pub fn backward_agnn<T: Scalar>(
+    exec: AttentionExec,
+    a: &Csr<T>,
+    psi: &Csr<T>,
+    cos: &Csr<T>,
+    h: &Dense<T>,
+    hp: &Dense<T>,
+    g: &Dense<T>,
+    beta: T,
+) -> AgnnBackward<T> {
+    match exec {
+        AttentionExec::FusedOnePass => attention_backward_agnn(a, psi, cos, h, hp, g, beta),
+        AttentionExec::Staged => staged_backward_agnn(a, psi, cos, h, hp, g, beta),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ψ-only helpers and distributed block wrappers
+// ---------------------------------------------------------------------------
+
+/// `Ψ = A ⊙ (H Hᵀ)` alone (the VA layer's public `psi` accessor).
+pub fn va_psi<T: Scalar>(a: &Csr<T>, h: &Dense<T>) -> Csr<T> {
+    fused::va_scores(a, h)
+}
+
+/// AGNN's softmaxed cosine attention matrix alone.
+pub fn agnn_psi<T: Scalar>(a: &Csr<T>, h: &Dense<T>, beta: T) -> Csr<T> {
+    let (scores, _) = fused::agnn_scores(a, h, beta);
+    masked::row_softmax(&scores)
+}
+
+/// GAT's softmaxed attention matrix alone (from precomputed `u`, `v`).
+pub fn gat_psi<T: Scalar>(a: &Csr<T>, u: &[T], v: &[T], slope: f64) -> Csr<T> {
+    let (e, _) = fused::gat_scores(a, u, v, slope);
+    masked::row_softmax(&e)
+}
+
+/// Staged VA block scores for the distributed 2D-partitioned path, where
+/// the softmax row reduction spans a whole grid row and cannot stream
+/// locally: `A_block ⊙ (X Yᵀ)`.
+pub fn staged_va_block_scores<T: Scalar>(a: &Csr<T>, x: &Dense<T>, y: &Dense<T>) -> Csr<T> {
+    sddmm::sddmm_pattern(a, x, y)
+}
+
+/// Staged AGNN block scores (distributed path): row-side features/norms
+/// differ from column-side on off-diagonal blocks.
+pub fn staged_agnn_block_scores<T: Scalar>(
+    a: &Csr<T>,
+    x: &Dense<T>,
+    y: &Dense<T>,
+    nx: &[T],
+    ny: &[T],
+    beta: T,
+) -> (Csr<T>, Csr<T>) {
+    fused::agnn_scores_block(a, x, y, nx, ny, beta)
+}
+
+/// Staged GAT block scores (distributed path).
+pub fn staged_gat_block_scores<T: Scalar>(
+    a: &Csr<T>,
+    u: &[T],
+    v: &[T],
+    slope: f64,
+) -> (Csr<T>, Csr<T>) {
+    fused::gat_scores(a, u, v, slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::csr;
+
+    fn graph() -> Csr<f64> {
+        let mut coo = Coo::from_edges(
+            6,
+            6,
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (1, 4),
+                (0, 3),
+            ],
+        );
+        coo.symmetrize_binary();
+        Csr::from_coo(&coo)
+    }
+
+    fn feats(n: usize, k: usize, seed: usize) -> Dense<f64> {
+        Dense::from_fn(n, k, |i, j| {
+            ((i * 31 + j * 17 + seed * 7) % 23) as f64 / 11.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn fused_va_forward_matches_staged() {
+        let a = graph();
+        let h = feats(6, 3, 1);
+        let fused = attention_forward_va(&a, &h, true);
+        let staged = staged_forward_va(&a, &h, true);
+        assert!(fused.out.max_abs_diff(&staged.out) < 1e-12);
+        let (fp, sp) = (fused.psi.unwrap(), staged.psi.unwrap());
+        for (x, y) in fp.values().iter().zip(sp.values()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_agnn_forward_matches_staged() {
+        let a = graph();
+        let h = feats(6, 3, 2);
+        let hp = feats(6, 4, 3);
+        let fused = attention_forward_agnn(&a, &h, &hp, 1.3, true);
+        let staged = staged_forward_agnn(&a, &h, &hp, 1.3, true);
+        assert!(fused.out.max_abs_diff(&staged.out) < 1e-12);
+        let (fp, sp) = (fused.psi.unwrap(), staged.psi.unwrap());
+        for (x, y) in fp.values().iter().zip(sp.values()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        let (fc, sc) = (fused.scores.unwrap(), staged.scores.unwrap());
+        for (x, y) in fc.values().iter().zip(sc.values()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_gat_forward_matches_staged() {
+        let a = graph();
+        let hp = feats(6, 4, 4);
+        let u: Vec<f64> = (0..6).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let v: Vec<f64> = (0..6).map(|i| 0.7 - (i as f64) * 0.2).collect();
+        let fused = attention_forward_gat(&a, &u, &v, &hp, 0.2, true);
+        let staged = staged_forward_gat(&a, &u, &v, &hp, 0.2, true);
+        assert!(fused.out.max_abs_diff(&staged.out) < 1e-12);
+        let (fp, sp) = (fused.psi.unwrap(), staged.psi.unwrap());
+        for (x, y) in fp.values().iter().zip(sp.values()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_psi_rows_sum_to_one() {
+        let a = graph();
+        let hp = feats(6, 4, 5);
+        let u = vec![0.5f64; 6];
+        let v = vec![-0.25f64; 6];
+        let psi = attention_forward_gat(&a, &u, &v, &hp, 0.2, true)
+            .psi
+            .unwrap();
+        for total in masked::row_sums(&psi) {
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn streaming_softmax_handles_all_negative_rows() {
+        // Large negative scores: the running max keeps every exponent at
+        // most 0, so nothing underflows to a 0/0.
+        let a = graph();
+        let hp = feats(6, 4, 6);
+        let u = vec![-1e4f64; 6];
+        let v = vec![-500.0f64; 6];
+        let fa = attention_forward_gat(&a, &u, &v, &hp, 0.2, true);
+        let psi = fa.psi.unwrap();
+        assert!(psi.values().iter().all(|p| p.is_finite() && *p >= 0.0));
+        for total in masked::row_sums(&psi) {
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+        let staged = staged_forward_gat(&a, &u, &v, &hp, 0.2, false);
+        assert!(fa.out.max_abs_diff(&staged.out) < 1e-12);
+    }
+
+    #[test]
+    fn empty_rows_produce_zero_output() {
+        let coo = Coo::from_triplets(3, 3, vec![(0, 1)], vec![1.0]);
+        let a: Csr<f64> = Csr::from_coo(&coo);
+        let hp = feats(3, 2, 7);
+        let u = vec![0.1f64; 3];
+        let v = vec![0.2f64; 3];
+        let fa = attention_forward_gat(&a, &u, &v, &hp, 0.2, false);
+        for j in 0..2 {
+            assert_eq!(fa.out[(1, j)], 0.0);
+            assert_eq!(fa.out[(2, j)], 0.0);
+        }
+    }
+
+    #[test]
+    fn inference_sweep_allocates_no_csr_values() {
+        let a = graph();
+        let h = feats(6, 3, 8);
+        let hp = feats(6, 4, 9);
+        let u = vec![0.4f64; 6];
+        let v = vec![0.6f64; 6];
+        let before = csr::value_allocs();
+        let _ = attention_forward_va(&a, &h, false);
+        let _ = attention_forward_agnn(&a, &h, &hp, 1.0, false);
+        let _ = attention_forward_gat(&a, &u, &v, &hp, 0.2, false);
+        assert_eq!(
+            csr::value_allocs() - before,
+            0,
+            "fused inference must not allocate intermediate score matrices"
+        );
+    }
+
+    #[test]
+    fn fused_gat_backward_matches_staged() {
+        let a = graph();
+        let hp = feats(6, 4, 10);
+        let g = feats(6, 4, 11);
+        let u: Vec<f64> = (0..6).map(|i| (i as f64) * 0.25 - 0.6).collect();
+        let v: Vec<f64> = (0..6).map(|i| 0.1 * (i as f64)).collect();
+        let fa = attention_forward_gat(&a, &u, &v, &hp, 0.2, true);
+        let (psi, c_pre) = (fa.psi.unwrap(), fa.scores.unwrap());
+        let (dc_f, du_f) = attention_backward_gat(&a, &psi, &c_pre, &hp, &g, 0.2);
+        let (dc_s, du_s) = staged_backward_gat(&a, &psi, &c_pre, &hp, &g, 0.2);
+        for (x, y) in dc_f.values().iter().zip(dc_s.values()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        for (x, y) in du_f.iter().zip(&du_s) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_agnn_backward_matches_staged() {
+        let a = graph();
+        let h = feats(6, 3, 12);
+        let hp = feats(6, 4, 13);
+        let g = feats(6, 4, 14);
+        let beta = 0.9;
+        let fa = attention_forward_agnn(&a, &h, &hp, beta, true);
+        let (psi, cos) = (fa.psi.unwrap(), fa.scores.unwrap());
+        let f = attention_backward_agnn(&a, &psi, &cos, &h, &hp, &g, beta);
+        let s = staged_backward_agnn(&a, &psi, &cos, &h, &hp, &g, beta);
+        assert!((f.dbeta - s.dbeta).abs() < 1e-12);
+        assert!(f.ph.max_abs_diff(&s.ph) < 1e-12);
+        for (x, y) in f.p.values().iter().zip(s.p.values()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        for (x, y) in f.tc.values().iter().zip(s.tc.values()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        for (x, y) in f.row_corr.iter().zip(&s.row_corr) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_va_backward_matches_staged() {
+        let a = graph();
+        let h = feats(6, 3, 15);
+        let m = feats(6, 3, 16);
+        let (n_f, nh_f) = attention_backward_va(&a, &m, &h);
+        let (n_s, nh_s) = staged_backward_va(&a, &m, &h);
+        assert!(nh_f.max_abs_diff(&nh_s) < 1e-12);
+        for (x, y) in n_f.values().iter().zip(n_s.values()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn aggregate_row_is_tile_size_invariant() {
+        // The accumulation order per output element never depends on the
+        // tile width, so results are bit-identical across tile sizes.
+        let src = feats(5, 19, 17);
+        let cols: Vec<u32> = vec![0, 2, 3, 4];
+        let p = [0.3f64, -0.7, 1.1, 0.05];
+        let mut reference = vec![0.0f64; 19];
+        aggregate_row(&mut reference, &cols, &p, &src, usize::MAX);
+        for tile in [1usize, 2, 3, 7, 16, 19, 64] {
+            let mut out = vec![0.0f64; 19];
+            aggregate_row(&mut out, &cols, &p, &src, tile);
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "tile={tile} changed bits");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_norm_rows_give_zero_cosine() {
+        let a = graph();
+        let mut h = feats(6, 3, 18);
+        for v in h.row_mut(0) {
+            *v = 0.0;
+        }
+        let hp = feats(6, 2, 19);
+        let fa = attention_forward_agnn(&a, &h, &hp, 1.0, true);
+        let cos = fa.scores.unwrap();
+        assert!(cos.values().iter().all(|v| v.is_finite()));
+        assert_eq!(cos.get(0, 1), 0.0);
+    }
+}

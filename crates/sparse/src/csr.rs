@@ -10,10 +10,34 @@
 
 use crate::coo::Coo;
 use atgnn_tensor::{Dense, Scalar};
+use std::cell::Cell;
 use std::sync::Arc;
 
+thread_local! {
+    /// Per-thread count of CSR value-array creations (see [`value_allocs`]).
+    static VALUE_ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of `Csr` value arrays created *on this thread* so far.
+///
+/// A test hook: the one-pass fused attention kernels promise to allocate
+/// no intermediate score matrices, and the equivalence tests assert that
+/// by diffing this counter around a forward call. Every constructor that
+/// brings a new value array into existence (including `Clone`) bumps it;
+/// kernels only construct `Csr`s on the calling thread (pool workers fill
+/// values through disjoint slices), so a thread-local counter isolates
+/// concurrently running tests from each other.
+pub fn value_allocs() -> usize {
+    VALUE_ALLOCS.with(|c| c.get())
+}
+
+#[inline]
+fn note_value_alloc() {
+    VALUE_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
 /// A sparse matrix in CSR format with reference-counted structure.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Csr<T> {
     rows: usize,
     cols: usize,
@@ -22,13 +46,31 @@ pub struct Csr<T> {
     values: Vec<T>,
 }
 
+impl<T: Clone> Clone for Csr<T> {
+    fn clone(&self) -> Self {
+        note_value_alloc();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: Arc::clone(&self.indptr),
+            indices: Arc::clone(&self.indices),
+            values: self.values.clone(),
+        }
+    }
+}
+
 impl<T: Scalar> Csr<T> {
     /// Builds a CSR matrix from COO (entries may be unsorted; duplicates
     /// are summed).
     pub fn from_coo(coo: &Coo<T>) -> Self {
         let rows = coo.rows();
         let cols = coo.cols();
-        // Counting sort by row.
+        // Counting sort by row. `counts` doubles as the scatter cursor:
+        // each slot starts at its row's first position and advances past
+        // every entry scattered into that row, so after the loop
+        // `counts[r]` is the *end* of row `r` (what the prefix sum held in
+        // slot `r + 1`) — the raw row extents survive without cloning the
+        // array into a separate `indptr_raw`/`cursor` pair.
         let mut counts = vec![0usize; rows + 1];
         for &(r, _) in &coo.entries {
             counts[r as usize + 1] += 1;
@@ -36,26 +78,28 @@ impl<T: Scalar> Csr<T> {
         for i in 0..rows {
             counts[i + 1] += counts[i];
         }
-        let indptr_raw = counts.clone();
         let mut indices = vec![0u32; coo.nnz()];
         let mut values = vec![T::zero(); coo.nnz()];
-        let mut cursor = indptr_raw.clone();
         for (&(r, c), &v) in coo.entries.iter().zip(&coo.values) {
-            let pos = cursor[r as usize];
+            let pos = counts[r as usize];
             indices[pos] = c;
             values[pos] = v;
-            cursor[r as usize] += 1;
+            counts[r as usize] += 1;
         }
-        // Sort each row by column and merge duplicates.
+        // Sort each row by column and merge duplicates. Row `r` now spans
+        // `[counts[r - 1], counts[r])` (with row 0 starting at 0).
         let mut out_indptr = vec![0usize; rows + 1];
         let mut out_indices = Vec::with_capacity(indices.len());
         let mut out_values = Vec::with_capacity(values.len());
         let mut rowbuf: Vec<(u32, T)> = Vec::new();
+        let mut start = 0usize;
         for r in 0..rows {
+            let end = counts[r];
             rowbuf.clear();
-            for i in indptr_raw[r]..indptr_raw[r + 1] {
+            for i in start..end {
                 rowbuf.push((indices[i], values[i]));
             }
+            start = end;
             rowbuf.sort_unstable_by_key(|&(c, _)| c);
             for &(c, v) in rowbuf.iter() {
                 // Duplicate within this row: fold into the entry just pushed.
@@ -73,6 +117,7 @@ impl<T: Scalar> Csr<T> {
             }
             out_indptr[r + 1] = out_indices.len();
         }
+        note_value_alloc();
         Self {
             rows,
             cols,
@@ -113,6 +158,7 @@ impl<T: Scalar> Csr<T> {
                 assert!((last as usize) < cols, "column index out of range");
             }
         }
+        note_value_alloc();
         Self {
             rows,
             cols,
@@ -124,6 +170,7 @@ impl<T: Scalar> Csr<T> {
 
     /// An empty (all-zero) matrix.
     pub fn empty(rows: usize, cols: usize) -> Self {
+        note_value_alloc();
         Self {
             rows,
             cols,
@@ -135,6 +182,7 @@ impl<T: Scalar> Csr<T> {
 
     /// The `n×n` identity pattern with unit values.
     pub fn identity(n: usize) -> Self {
+        note_value_alloc();
         Self {
             rows: n,
             cols: n,
@@ -208,6 +256,7 @@ impl<T: Scalar> Csr<T> {
     /// Panics if `values.len() != self.nnz()`.
     pub fn with_values(&self, values: Vec<T>) -> Self {
         assert_eq!(values.len(), self.nnz(), "value array length mismatch");
+        note_value_alloc();
         Self {
             rows: self.rows,
             cols: self.cols,
@@ -253,6 +302,7 @@ impl<T: Scalar> Csr<T> {
                 cursor[c as usize] += 1;
             }
         }
+        note_value_alloc();
         Self {
             rows: self.cols,
             cols: self.rows,
@@ -324,6 +374,7 @@ impl<T: Scalar> Csr<T> {
             }
             indptr.push(indices.len());
         }
+        note_value_alloc();
         Self {
             rows: r1 - r0,
             cols: c1 - c0,
@@ -381,6 +432,53 @@ mod tests {
         let m = Csr::from_coo(&coo);
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.values(), &[3.5]);
+    }
+
+    #[test]
+    fn from_coo_matches_sorted_insert_reference_on_duplicate_heavy_input() {
+        // 200 entries over a 7×5 pattern: every cell is hit ~5-6 times, so
+        // the sort/dedup phase folds long duplicate runs in every row.
+        // Values are small integers, so duplicate summation is exact and
+        // independent of the (unstable) within-row sort order.
+        let (rows, cols) = (7usize, 5usize);
+        let mut state = 0x2545F491u64;
+        let mut lcg = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut coo = Coo::new(rows, cols);
+        let mut reference: std::collections::BTreeMap<(u32, u32), f64> =
+            std::collections::BTreeMap::new();
+        for i in 0..200usize {
+            let r = (lcg() % rows) as u32;
+            let c = (lcg() % cols) as u32;
+            let v = (i % 13) as f64 - 6.0;
+            coo.push(r, c, v);
+            *reference.entry((r, c)).or_insert(0.0) += v;
+        }
+        let m = Csr::from_coo(&coo);
+        assert_eq!(m.nnz(), reference.len());
+        let mut it = reference.iter();
+        for r in 0..rows {
+            let (rcols, rvals) = m.row(r);
+            for (&c, &v) in rcols.iter().zip(rvals) {
+                let (&(rr, rc), &rv) = it.next().expect("reference exhausted early");
+                assert_eq!((r as u32, c), (rr, rc), "entry order diverges");
+                assert_eq!(v, rv, "summed value diverges at ({r}, {c})");
+            }
+        }
+        assert!(it.next().is_none(), "reference has extra entries");
+    }
+
+    #[test]
+    fn value_alloc_counter_tracks_constructions() {
+        let before = value_allocs();
+        let m = sample(); // from_coo: one value array
+        let _w = m.with_values(vec![1.0; m.nnz()]); // one more
+        let _c = m.clone(); // and a clone
+        assert_eq!(value_allocs() - before, 3);
     }
 
     #[test]

@@ -25,7 +25,12 @@
 //!   parallel loop over CSR rows).
 //! * [`norm`] — adjacency preprocessing: self-loops, symmetric GCN
 //!   normalization, row normalization.
+//! * [`attention`] — one-pass fused attention pipelines (Section 6.2 pushed
+//!   through the whole SDDMM→softmax→SpMM sandwich): scores, streaming row
+//!   softmax and aggregation in a single CSR sweep with feature-column
+//!   tiling, plus the staged pipelines kept as the test oracle.
 
+pub mod attention;
 pub mod coo;
 pub mod csr;
 pub mod fused;

@@ -204,6 +204,26 @@ pub fn cheaper_order(nnz: usize, k_in: usize, k_out: usize) -> ProductOrder {
     }
 }
 
+/// [`cheaper_order`] made aware of the execution path. The staged path
+/// keeps the pure flop comparison. The one-pass fused path
+/// ([`crate::attention`]) computes the score dot products and the
+/// aggregation from the *same* streamed `h_j` row, so aggregate-first
+/// streams `nnz·k_in` words once, while project-first would stream the
+/// score operand (`k_in`) *and* the projected operand (`k_out`) per
+/// non-zero — `nnz·(k_in + k_out)` — and give up the shared read. The
+/// fused sweep therefore always aggregates first.
+pub fn cheaper_order_for(
+    nnz: usize,
+    k_in: usize,
+    k_out: usize,
+    exec: crate::attention::AttentionExec,
+) -> ProductOrder {
+    match exec {
+        crate::attention::AttentionExec::Staged => cheaper_order(nnz, k_in, k_out),
+        crate::attention::AttentionExec::FusedOnePass => ProductOrder::AggregateFirst,
+    }
+}
+
 /// `SpMMM`: the sparse–dense–dense product `A · H · W` (paper Table 2, a
 /// new kernel identified for forward passes). The order is chosen by
 /// [`cheaper_order`] unless forced.
@@ -339,6 +359,53 @@ mod tests {
     fn cheaper_order_prefers_smaller_spmm() {
         assert_eq!(cheaper_order(100, 16, 128), ProductOrder::AggregateFirst);
         assert_eq!(cheaper_order(100, 128, 16), ProductOrder::ProjectFirst);
+    }
+
+    #[test]
+    fn cheaper_order_for_pins_path_aware_decisions() {
+        use crate::attention::AttentionExec::{FusedOnePass, Staged};
+        // Staged delegates to the flop comparison…
+        assert_eq!(
+            cheaper_order_for(100, 128, 16, Staged),
+            ProductOrder::ProjectFirst
+        );
+        assert_eq!(
+            cheaper_order_for(100, 16, 128, Staged),
+            ProductOrder::AggregateFirst
+        );
+        // …while the one-pass sweep shares the streamed h_j row between
+        // scoring and aggregation, so it always aggregates first — even
+        // where the flop count alone would project first.
+        assert_eq!(
+            cheaper_order_for(100, 128, 16, FusedOnePass),
+            ProductOrder::AggregateFirst
+        );
+        assert_eq!(
+            cheaper_order_for(100, 16, 128, FusedOnePass),
+            ProductOrder::AggregateFirst
+        );
+        // Corner cases: empty pattern, degenerate feature widths. Ties
+        // break toward aggregate-first (matches `cheaper_order`).
+        assert_eq!(
+            cheaper_order_for(0, 8, 8, Staged),
+            ProductOrder::AggregateFirst
+        );
+        assert_eq!(
+            cheaper_order_for(0, 8, 8, FusedOnePass),
+            ProductOrder::AggregateFirst
+        );
+        assert_eq!(
+            cheaper_order_for(1, 0, 64, Staged),
+            ProductOrder::AggregateFirst
+        );
+        assert_eq!(
+            cheaper_order_for(1, 64, 0, Staged),
+            ProductOrder::ProjectFirst
+        );
+        assert_eq!(
+            cheaper_order_for(1, 64, 0, FusedOnePass),
+            ProductOrder::AggregateFirst
+        );
     }
 
     #[test]
