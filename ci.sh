@@ -16,6 +16,12 @@ ATGNN_THREADS=1 cargo test -q --workspace
 echo "== cargo test (unrestricted thread pool) =="
 cargo test -q --workspace
 
+echo "== cargo test (forced RCM reorder + scalar microkernels) =="
+# The whole suite must hold under the locality layer's other extreme:
+# every model runs on an RCM-permuted graph (outputs mapped back through
+# the inverse permutation) with the scalar reference kernels.
+ATGNN_REORDER=rcm ATGNN_MICROKERNEL=scalar cargo test -q --workspace
+
 echo "== lint: no unwrap() in kernel code (crates/sparse, crates/tensor) =="
 # Kernel code must propagate or assert with context, not unwrap. Test
 # modules are exempt (split so this file's own literal doesn't match).
@@ -79,9 +85,40 @@ if [ "$bad" -ne 0 ]; then
     exit 1
 fi
 
+echo "== lint: only the plan layer applies graph reorderings =="
+# Csr::permute is a preprocessing decision, not a kernel one: kernels and
+# layers must stay permutation-oblivious so reordering remains a plan-time
+# concern (DESIGN.md §6 "Locality layer"). Legal callers: the definition
+# itself (csr.rs), the plan layer (plan.rs), and the dist context, which
+# resolves the plan's reordering before partitioning. Test modules are
+# exempt via the same awk strip as the unwrap lint.
+bad=0
+while IFS= read -r file; do
+    case "$file" in
+    crates/sparse/src/csr.rs | crates/core/src/plan.rs | crates/dist/src/context.rs)
+        continue
+        ;;
+    esac
+    if awk '/#\[cfg\(test\)\]/{exit} {print}' "$file" | grep -nF '.permute(' >/dev/null; then
+        echo "Csr::permute called outside the plan layer: $file"
+        awk '/#\[cfg\(test\)\]/{exit} {print}' "$file" | grep -nF '.permute('
+        bad=1
+    fi
+done < <(find crates/*/src -name '*.rs')
+if [ "$bad" -ne 0 ]; then
+    echo "FAILED: graph reordering must go through ExecPlan::reorder_graph"
+    exit 1
+fi
+
 echo "== ablation_fusion smoke (staged vs one-pass harness) =="
 # Smoke mode: smallest graph only, no timing assertions — verifies the
 # staged/one-pass pipeline harness and the BENCH_fusion.json writer run.
 ATGNN_SMOKE=1 cargo run --release -q -p atgnn-bench --bin ablation_fusion
+
+echo "== locality smoke (reorder × microkernel sweep harness) =="
+# Smoke mode: smallest graph only, no speedup assertion — verifies the
+# reorder/microkernel sweep, the permuted-vs-unpermuted equivalence
+# checks, and the BENCH_locality.json writer run.
+ATGNN_SMOKE=1 cargo run --release -q -p atgnn-bench --bin locality
 
 echo "== ci.sh: all checks passed =="

@@ -56,4 +56,4 @@ pub mod train;
 pub use analyze::{Diagnostic, Rule, Severity};
 pub use layer::{AGnnLayer, Gradients, LayerCache};
 pub use model::{GnnModel, ModelKind};
-pub use plan::{AttentionExec, ExecPlan};
+pub use plan::{AttentionExec, ExecPlan, ReorderStrategy, Reordering};

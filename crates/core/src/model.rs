@@ -12,8 +12,10 @@ use crate::layer::{AGnnLayer, Gradients, LayerCache};
 use crate::layers::{AgnnLayer, GatLayer, GcnLayer, VaLayer};
 use crate::loss::Loss;
 use crate::optimizer::Optimizer;
+use crate::plan::{ExecPlan, Reordering};
 use atgnn_sparse::{norm, Csr};
 use atgnn_tensor::{ops, Activation, Dense, Scalar};
+use std::sync::Mutex;
 
 /// The models evaluated in the paper (plus the Section 8.4 C-GNN).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,19 +56,77 @@ pub struct TrainContext<T: Scalar> {
     pub cache: LayerCache<T>,
 }
 
+/// A cached reordering, keyed on the adjacency's shared structure so
+/// repeated `inference`/`train_step` calls on the same graph permute once.
+struct CachedReorder<T> {
+    key: (usize, usize, usize, usize),
+    /// `None` records "this plan declines to reorder this graph" (e.g.
+    /// `auto` on a small graph), so the resolution isn't re-measured.
+    reordering: Option<Reordering<T>>,
+}
+
 /// A stack of GNN layers.
 pub struct GnnModel<T> {
     layers: Vec<Box<dyn AGnnLayer<T>>>,
+    /// The model-level execution plan. `inference`/`train_step` consume
+    /// its reorder stage; attention execution (fused vs staged) stays a
+    /// per-layer dispatch fixed at layer construction.
+    plan: ExecPlan,
+    /// Per-adjacency reorder cache (a `Mutex` to keep the model `Sync`;
+    /// never contended — model methods take `&self`/`&mut self`).
+    reorder_cache: Mutex<Option<CachedReorder<T>>>,
 }
 
 impl<T: Scalar> GnnModel<T> {
-    /// Builds a model from explicit layers.
+    /// Builds a model from explicit layers, with the environment's
+    /// execution plan (`ATGNN_EXEC`, `ATGNN_REORDER`).
     pub fn new(layers: Vec<Box<dyn AGnnLayer<T>>>) -> Self {
         assert!(!layers.is_empty(), "a GNN model needs at least one layer");
         for w in layers.windows(2) {
             assert_eq!(w[0].out_dim(), w[1].in_dim(), "layer dimensions must chain");
         }
-        Self { layers }
+        Self {
+            layers,
+            plan: ExecPlan::from_env(),
+            reorder_cache: Mutex::new(None),
+        }
+    }
+
+    /// This model with a different plan. Only the plan's *reorder* stage
+    /// changes model behavior here — the fused/staged execution choice is
+    /// baked into the layers when they are constructed.
+    pub fn with_plan(mut self, plan: ExecPlan) -> Self {
+        self.plan = plan;
+        *self
+            .reorder_cache
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner()) = None;
+        self
+    }
+
+    /// The model-level execution plan.
+    pub fn plan(&self) -> ExecPlan {
+        self.plan
+    }
+
+    /// Runs `f` with this plan's reordering for `a` (computing or reusing
+    /// the cached permutation), or with `None` when the plan declines.
+    fn with_reordering<R>(&self, a: &Csr<T>, f: impl FnOnce(Option<&Reordering<T>>) -> R) -> R {
+        if self.plan.reorder() == crate::plan::ReorderStrategy::Off {
+            return f(None);
+        }
+        let mut guard = self.reorder_cache.lock().unwrap_or_else(|e| e.into_inner());
+        let key = a.structure_key();
+        match guard.as_ref() {
+            Some(c) if c.key == key => {}
+            _ => {
+                *guard = Some(CachedReorder {
+                    key,
+                    reordering: self.plan.reorder_graph(a),
+                });
+            }
+        }
+        f(guard.as_ref().and_then(|c| c.reordering.as_ref()))
     }
 
     /// Builds an `L`-layer model of one kind with the dimension chain
@@ -132,7 +192,20 @@ impl<T: Scalar> GnnModel<T> {
 
     /// Full-batch inference: `L` forward layers, no intermediate storage
     /// (the artifact's `--inference` mode).
+    ///
+    /// When the plan's reorder stage applies (see `ExecPlan::reorder_graph`),
+    /// the layers run on the permuted graph and features, and the output is
+    /// inverse-permuted — so the result rows are in the caller's vertex
+    /// order, identical to the unordered run up to FP reassociation.
     pub fn inference(&self, a: &Csr<T>, x: &Dense<T>) -> Dense<T> {
+        self.with_reordering(a, |r| match r {
+            Some(r) => r.restore_rows(&self.raw_inference(&r.a, &r.permute_rows(x))),
+            None => self.raw_inference(a, x),
+        })
+    }
+
+    /// The layer loop of [`GnnModel::inference`], in the given vertex order.
+    fn raw_inference(&self, a: &Csr<T>, x: &Dense<T>) -> Dense<T> {
         let mut h = x.clone();
         for layer in &self.layers {
             let z = layer.forward(a, &h, None);
@@ -198,6 +271,14 @@ impl<T: Scalar> GnnModel<T> {
 
     /// One full-batch training step (forward + backward + update).
     /// Returns the loss value before the update.
+    ///
+    /// Under a reordering plan the forward/backward passes run in the
+    /// permuted vertex order, but the loss (whose targets are indexed by
+    /// the caller's vertex ids) always sees outputs in the original
+    /// order: the forward output is inverse-permuted before the loss, and
+    /// the loss gradient is permuted back before the backward pass.
+    /// Weight gradients are sums over vertices, so they are unaffected by
+    /// the ordering up to FP reassociation.
     pub fn train_step(
         &mut self,
         a: &Csr<T>,
@@ -205,10 +286,23 @@ impl<T: Scalar> GnnModel<T> {
         loss: &dyn Loss<T>,
         opt: &mut dyn Optimizer<T>,
     ) -> T {
-        let (out, ctxs) = self.forward_cached(a, x);
-        let value = loss.value(&out);
-        let grad_out = loss.gradient(&out);
-        let (grads, _) = self.backward(a, &ctxs, &grad_out);
+        let (value, grads) = self.with_reordering(a, |r| match r {
+            Some(r) => {
+                let (out_p, ctxs) = self.forward_cached(&r.a, &r.permute_rows(x));
+                let out = r.restore_rows(&out_p);
+                let value = loss.value(&out);
+                let grad_p = r.permute_rows(&loss.gradient(&out));
+                let (grads, _) = self.backward(&r.a, &ctxs, &grad_p);
+                (value, grads)
+            }
+            None => {
+                let (out, ctxs) = self.forward_cached(a, x);
+                let value = loss.value(&out);
+                let grad_out = loss.gradient(&out);
+                let (grads, _) = self.backward(a, &ctxs, &grad_out);
+                (value, grads)
+            }
+        });
         self.apply_gradients(&grads, opt);
         value
     }
@@ -352,6 +446,62 @@ mod tests {
             "accuracy {}",
             loss.accuracy(&out)
         );
+    }
+
+    #[test]
+    fn reordered_inference_matches_unordered() {
+        use crate::plan::{ExecPlan, ReorderStrategy};
+        for kind in [
+            ModelKind::Va,
+            ModelKind::Agnn,
+            ModelKind::Gat,
+            ModelKind::Gcn,
+        ] {
+            let a = GnnModel::<f64>::prepare_adjacency(kind, &graph(32));
+            let x = init::features(32, 4, 31);
+            let mk = |strategy: ReorderStrategy| {
+                GnnModel::<f64>::uniform(kind, &[4, 5, 3], Activation::Tanh, 2)
+                    .with_plan(ExecPlan::fused().with_reorder(strategy))
+            };
+            let want = mk(ReorderStrategy::Off).inference(&a, &x);
+            for strategy in [ReorderStrategy::Degree, ReorderStrategy::Rcm] {
+                let got = mk(strategy).inference(&a, &x);
+                assert!(
+                    got.max_abs_diff(&want) < 1e-9,
+                    "{kind:?}/{}: reordered inference diverged",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_training_matches_unordered_losses() {
+        use crate::plan::{ExecPlan, ReorderStrategy};
+        let a = GnnModel::<f64>::prepare_adjacency(ModelKind::Gat, &graph(24));
+        let x = init::features(24, 4, 37);
+        let target = init::features(24, 2, 41);
+        let run = |strategy: ReorderStrategy| {
+            let loss = Mse::new(target.clone());
+            let mut model =
+                GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 4, 2], Activation::Tanh, 43)
+                    .with_plan(ExecPlan::fused().with_reorder(strategy));
+            let mut opt = Sgd::new(0.01);
+            (0..5)
+                .map(|_| model.train_step(&a, &x, &loss, &mut opt))
+                .collect::<Vec<_>>()
+        };
+        let base = run(ReorderStrategy::Off);
+        for strategy in [ReorderStrategy::Degree, ReorderStrategy::Rcm] {
+            let got = run(strategy);
+            for (step, (b, g)) in base.iter().zip(&got).enumerate() {
+                assert!(
+                    (b - g).abs() < 1e-9 * (1.0 + b.abs()),
+                    "{} step {step}: loss {b} vs {g}",
+                    strategy.name()
+                );
+            }
+        }
     }
 
     #[test]

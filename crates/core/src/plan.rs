@@ -1,47 +1,79 @@
 //! Explicit execution plans for attentional layers.
 //!
-//! A plan records *how* a layer executes its score→softmax→aggregate
-//! sandwich: fused into one CSR sweep ([`AttentionExec::FusedOnePass`],
-//! the default — no intermediate score matrices on the hot path) or as
-//! three staged sweeps with materialized intermediates
-//! ([`AttentionExec::Staged`], the test oracle). Layer code never calls
-//! the staged score kernels directly; it dispatches through the plan, and
-//! [`crate::analyze::validate_plan`] lints plans that would materialize a
-//! softmax sandwich the fused path avoids.
+//! A plan records *how* a model executes, along two axes:
+//!
+//! * **Attention execution** — the score→softmax→aggregate sandwich runs
+//!   fused into one CSR sweep ([`AttentionExec::FusedOnePass`], the
+//!   default — no intermediate score matrices on the hot path) or as
+//!   three staged sweeps with materialized intermediates
+//!   ([`AttentionExec::Staged`], the test oracle). Layer code never calls
+//!   the staged score kernels directly; it dispatches through the plan,
+//!   and [`crate::analyze::validate_plan`] lints plans that would
+//!   materialize a softmax sandwich the fused path avoids.
+//! * **Locality reordering** — an opt-out preprocessing stage
+//!   ([`ReorderStrategy`], `ATGNN_REORDER={auto,degree,rcm,off}`) that
+//!   permutes the adjacency and feature matrices into a cache-friendly
+//!   vertex order before kernels run, and inverse-permutes model outputs
+//!   so results stay observationally identical to the unordered run (up
+//!   to floating-point reassociation; see DESIGN.md §6). This module is
+//!   the **only** place that applies `Csr::permute` — kernels and layers
+//!   stay permutation-agnostic, which ci.sh lints.
 
 use crate::analyze::{self, Diagnostic};
 use crate::model::ModelKind;
+use atgnn_graphgen::reorder;
+use atgnn_sparse::Csr;
+use atgnn_tensor::{Dense, Scalar};
 
+pub use atgnn_graphgen::reorder::Strategy as ReorderStrategy;
 pub use atgnn_sparse::attention::AttentionExec;
 
 /// How a model's attentional layers execute their sandwiches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct ExecPlan {
     exec: AttentionExec,
+    reorder: ReorderStrategy,
 }
 
 impl ExecPlan {
-    /// The one-pass fused plan (the default).
+    /// The one-pass fused plan (the default), with `auto` reordering.
     pub fn fused() -> Self {
         Self {
             exec: AttentionExec::FusedOnePass,
+            reorder: ReorderStrategy::Auto,
         }
     }
 
-    /// The staged oracle plan: three sweeps, materialized intermediates.
+    /// The staged oracle plan: three sweeps, materialized intermediates,
+    /// `auto` reordering.
     pub fn staged() -> Self {
         Self {
             exec: AttentionExec::Staged,
+            reorder: ReorderStrategy::Auto,
         }
     }
 
     /// Reads `ATGNN_EXEC` (`"staged"` selects the oracle path; anything
-    /// else — including unset — selects the fused path).
+    /// else — including unset — selects the fused path) and
+    /// `ATGNN_REORDER` (`auto`/`degree`/`rcm`/`off`; unknown or unset
+    /// means `auto`).
     pub fn from_env() -> Self {
-        match std::env::var("ATGNN_EXEC").as_deref() {
+        let base = match std::env::var("ATGNN_EXEC").as_deref() {
             Ok("staged") => Self::staged(),
             _ => Self::fused(),
-        }
+        };
+        let reorder = std::env::var("ATGNN_REORDER")
+            .ok()
+            .as_deref()
+            .and_then(ReorderStrategy::parse)
+            .unwrap_or_default();
+        base.with_reorder(reorder)
+    }
+
+    /// This plan with a different reorder strategy.
+    pub fn with_reorder(mut self, reorder: ReorderStrategy) -> Self {
+        self.reorder = reorder;
+        self
     }
 
     /// The execution path this plan selects.
@@ -54,6 +86,35 @@ impl ExecPlan {
         self.exec == AttentionExec::FusedOnePass
     }
 
+    /// The reorder strategy this plan selects (before per-graph `auto`
+    /// resolution).
+    pub fn reorder(&self) -> ReorderStrategy {
+        self.reorder
+    }
+
+    /// Computes and applies this plan's locality reordering to an
+    /// adjacency matrix. Returns `None` when the (resolved) strategy
+    /// declines to reorder — small or already-local graphs under `auto`,
+    /// or `off`.
+    ///
+    /// This is the single entry point through which a vertex permutation
+    /// reaches kernel data (`Csr::permute` — see the module docs and the
+    /// ci.sh lint). Callers run the model in the permuted space and map
+    /// outputs back via [`Reordering::restore_rows`].
+    pub fn reorder_graph<T: Scalar>(&self, a: &Csr<T>) -> Option<Reordering<T>> {
+        let perm = reorder::permutation(a, self.reorder)?;
+        let inv = reorder::inverse(&perm);
+        let a = a.permute(&perm);
+        Some(Reordering { a, perm, inv })
+    }
+
+    /// Estimated locality of this plan on a concrete graph: bandwidth and
+    /// average neighbor (gather) distance before and after the plan's
+    /// reordering (see [`analyze::locality_report`]).
+    pub fn locality_report<T: Scalar>(&self, a: &Csr<T>) -> analyze::LocalityReport {
+        analyze::locality_report(self, a)
+    }
+
     /// Static-analyzes this plan against the canned DAGs of `kind`:
     /// the model's own shape/fusion/semiring rules, plus a
     /// `staged-sandwich` warning for every softmax sandwich a staged plan
@@ -63,14 +124,95 @@ impl ExecPlan {
     }
 }
 
+/// A locality reordering applied to one adjacency matrix: the permuted
+/// graph plus both directions of the vertex permutation.
+///
+/// Convention: `perm[new] = old`, i.e. `a[new_i][new_j] =
+/// original[perm[new_i]][perm[new_j]]`, and `inv[old] = new`.
+pub struct Reordering<T> {
+    /// The symmetrically permuted adjacency.
+    pub a: Csr<T>,
+    /// `perm[new] = old` — gathers original-order rows into plan order.
+    pub perm: Vec<u32>,
+    /// `inv[old] = new` — gathers plan-order rows back to original order.
+    pub inv: Vec<u32>,
+}
+
+impl<T: Scalar> Reordering<T> {
+    /// Brings a vertex-indexed matrix (features, labels) into the plan's
+    /// vertex order.
+    pub fn permute_rows(&self, x: &Dense<T>) -> Dense<T> {
+        x.gather_rows(&self.perm)
+    }
+
+    /// Maps a plan-order output back to the original vertex order.
+    pub fn restore_rows(&self, out: &Dense<T>) -> Dense<T> {
+        out.gather_rows(&self.inv)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use atgnn_sparse::Coo;
 
     #[test]
     fn default_plan_is_fused() {
         assert!(ExecPlan::default().is_fused());
         assert_eq!(ExecPlan::fused(), ExecPlan::default());
         assert_eq!(ExecPlan::staged().exec(), AttentionExec::Staged);
+    }
+
+    #[test]
+    fn default_reorder_is_auto_and_overridable() {
+        assert_eq!(ExecPlan::default().reorder(), ReorderStrategy::Auto);
+        let p = ExecPlan::fused().with_reorder(ReorderStrategy::Off);
+        assert_eq!(p.reorder(), ReorderStrategy::Off);
+        assert!(p.is_fused());
+    }
+
+    fn ring(n: usize) -> Csr<f64> {
+        let edges: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|v| {
+                let w = (v + 1) % n as u32;
+                [(v, w), (w, v)]
+            })
+            .collect();
+        Csr::from_coo(&Coo::from_edges(n, n, edges))
+    }
+
+    #[test]
+    fn off_and_tiny_auto_plans_do_not_reorder() {
+        let a = ring(8);
+        assert!(ExecPlan::fused()
+            .with_reorder(ReorderStrategy::Off)
+            .reorder_graph(&a)
+            .is_none());
+        // Auto declines tiny graphs (ATGNN_REORDER_MIN_N).
+        assert!(ExecPlan::fused().reorder_graph(&a).is_none());
+    }
+
+    #[test]
+    fn forced_reorder_roundtrips_features() {
+        let a = ring(10);
+        let r = ExecPlan::fused()
+            .with_reorder(ReorderStrategy::Rcm)
+            .reorder_graph(&a)
+            .expect("forced rcm must reorder");
+        let x = Dense::from_fn(10, 3, |i, j| (i * 3 + j) as f64);
+        // permute ∘ restore is the identity on row order.
+        assert!(r.restore_rows(&r.permute_rows(&x)).max_abs_diff(&x) == 0.0);
+        // The permuted adjacency relates to the original entrywise.
+        let d = a.to_dense();
+        let pd = r.a.to_dense();
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(
+                    pd[(i, j)],
+                    d[(r.perm[i] as usize, r.perm[j] as usize)],
+                    "mismatch at permuted ({i},{j})"
+                );
+            }
+        }
     }
 }

@@ -19,10 +19,20 @@
 //!   the replicated parameters.
 
 use crate::grid::Grid;
+use atgnn::plan::ExecPlan;
 use atgnn_net::Comm;
 use atgnn_sparse::{masked, Csr};
 use atgnn_tensor::{Dense, Scalar};
 use std::cell::Cell;
+
+/// The vertex permutation a reordering context applied globally before
+/// 2D partitioning (see [`DistContext::new_with_plan`]).
+pub struct DistReorder {
+    /// `perm[new] = old` — original vertex feeding each plan-order slot.
+    pub perm: Vec<u32>,
+    /// `inv[old] = new` — plan-order slot of each original vertex.
+    pub inv: Vec<u32>,
+}
 
 /// Per-rank state for distributed layer execution.
 pub struct DistContext<'a, T> {
@@ -38,6 +48,7 @@ pub struct DistContext<'a, T> {
     pub n: usize,
     /// The owned adjacency block `A[i][j]` (stationary).
     pub a_block: Csr<T>,
+    reorder: Option<DistReorder>,
     tag: Cell<u32>,
 }
 
@@ -62,7 +73,51 @@ impl<'a, T: Scalar> DistContext<'a, T> {
             j,
             n,
             a_block,
+            reorder: None,
             tag: Cell::new(1000),
+        }
+    }
+
+    /// Builds the context with the plan's locality reordering applied
+    /// before 2D partitioning: every rank deterministically resolves the
+    /// same permutation from the replicated full adjacency (pure local
+    /// preprocessing, no communication), permutes it, and slices its
+    /// stationary block from the *permuted* matrix — so each per-block
+    /// local CSR is reordered consistently with the row/column ranges the
+    /// collectives assume. When the plan declines to reorder (e.g. `auto`
+    /// on a small graph), this is exactly [`DistContext::new`].
+    ///
+    /// Callers feed column blocks of the permuted features (use
+    /// [`DistContext::local_input`]) and receive outputs in permuted
+    /// vertex order; [`DistContext::reorder`] exposes both directions of
+    /// the permutation for mapping back.
+    pub fn new_with_plan(comm: &'a Comm, a_full: &Csr<T>, plan: &ExecPlan) -> Self {
+        match plan.reorder_graph(a_full) {
+            None => Self::new(comm, a_full),
+            Some(r) => {
+                let mut ctx = Self::new(comm, &r.a);
+                ctx.reorder = Some(DistReorder {
+                    perm: r.perm,
+                    inv: r.inv,
+                });
+                ctx
+            }
+        }
+    }
+
+    /// The global vertex permutation this context applied, if any.
+    pub fn reorder(&self) -> Option<&DistReorder> {
+        self.reorder.as_ref()
+    }
+
+    /// This rank's column-side input block, gathered from the full
+    /// feature/label matrix *in the caller's original vertex order* —
+    /// rows `col_range()` of the (possibly) permuted matrix.
+    pub fn local_input(&self, x_full: &Dense<T>) -> Dense<T> {
+        let (c0, c1) = self.col_range();
+        match &self.reorder {
+            None => x_full.slice_rows(c0, c1 - c0),
+            Some(m) => x_full.gather_rows(&m.perm[c0..c1]),
         }
     }
 

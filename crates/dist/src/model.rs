@@ -431,6 +431,41 @@ mod tests {
     }
 
     #[test]
+    fn reordered_blocks_match_permuted_sequential_inference() {
+        use atgnn::plan::{ExecPlan, ReorderStrategy};
+        let n = 12;
+        for kind in [ModelKind::Gat, ModelKind::Agnn] {
+            let a = GnnModel::<f64>::prepare_adjacency(kind, &graph(n));
+            let x = init::features(n, 3, 5);
+            // Sequential reference WITHOUT reordering: the distributed
+            // outputs are compared against it through the permutation.
+            let seq = GnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Relu, 7)
+                .with_plan(ExecPlan::fused().with_reorder(ReorderStrategy::Off))
+                .inference(&a, &x);
+            let plan = ExecPlan::fused().with_reorder(ReorderStrategy::Rcm);
+            for p in [1usize, 4] {
+                let a = a.clone();
+                let x = x.clone();
+                let seq = seq.clone();
+                let (errs, _) = Cluster::run(p, move |comm| {
+                    let ctx = DistContext::new_with_plan(&comm, &a, &plan);
+                    let model = DistGnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Relu, 7);
+                    let out = model.inference(&ctx, &ctx.local_input(&x));
+                    // Rows [c0, c1) of the permuted output correspond to
+                    // original vertices perm[c0..c1].
+                    let (c0, c1) = ctx.col_range();
+                    let m = ctx.reorder().expect("forced rcm must reorder");
+                    let want = seq.gather_rows(&m.perm[c0..c1]);
+                    out.max_abs_diff(&want)
+                });
+                for e in errs {
+                    assert!(e < 1e-9, "{kind:?} p={p}: reordered block error {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn distributed_gradients_equal_sequential() {
         let n = 10;
         for kind in KINDS {

@@ -17,10 +17,16 @@
 //! every vertex is connected to at least one other vertex
 //! ([`ensure_min_degree`]). [`io`] stores edge lists in a simple COO file
 //! format standing in for the artifact's `.npz` loader.
+//!
+//! [`reorder`] computes locality-improving vertex permutations (degree
+//! sort, reverse Cuthill–McKee) that the plan layer applies before kernel
+//! execution; [`stats`] reports the matching bandwidth / neighbor-distance
+//! metrics.
 
 pub mod erdos_renyi;
 pub mod io;
 pub mod kronecker;
+pub mod reorder;
 pub mod stats;
 
 use atgnn_sparse::{Coo, Csr};

@@ -22,6 +22,13 @@ pub struct DegreeStats {
     /// Coefficient of variation of the degrees (σ/μ) — ≫1 for heavy
     /// tails, ≪1 for uniform random graphs.
     pub cv: f64,
+    /// Matrix bandwidth: max over stored entries of `|i - j|`. Shares the
+    /// implementation ([`crate::reorder::locality_of`]) with the reorder
+    /// `auto` heuristic and the `locality` bench.
+    pub bandwidth: usize,
+    /// Mean over stored entries of `|i - j|` — the expected feature-row
+    /// gather distance of an SpMM/attention sweep.
+    pub avg_neighbor_distance: f64,
 }
 
 impl DegreeStats {
@@ -51,6 +58,7 @@ impl DegreeStats {
         } else {
             m as f64 / (n as f64 * n as f64)
         };
+        let locality = crate::reorder::locality_of(a);
         Self {
             n,
             m,
@@ -59,6 +67,8 @@ impl DegreeStats {
             mean,
             density,
             cv,
+            bandwidth: locality.bandwidth,
+            avg_neighbor_distance: locality.avg_neighbor_distance,
         }
     }
 }
@@ -67,14 +77,16 @@ impl std::fmt::Display for DegreeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} m={} density={:.4}% degree(min/mean/max)={}/{:.1}/{} cv={:.2}",
+            "n={} m={} density={:.4}% degree(min/mean/max)={}/{:.1}/{} cv={:.2} bw={} avg_dist={:.1}",
             self.n,
             self.m,
             self.density * 100.0,
             self.min,
             self.mean,
             self.max,
-            self.cv
+            self.cv,
+            self.bandwidth,
+            self.avg_neighbor_distance
         )
     }
 }
@@ -95,6 +107,9 @@ mod tests {
         assert_eq!(s.m, 4);
         assert!((s.mean - 0.8).abs() < 1e-12);
         assert!(s.cv > 1.0);
+        // Star from vertex 0: distances 1..=4, so bandwidth 4, mean 2.5.
+        assert_eq!(s.bandwidth, 4);
+        assert!((s.avg_neighbor_distance - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -46,7 +46,7 @@
 use crate::csr::Csr;
 use crate::{fused, masked, sddmm, spmm};
 use atgnn_tensor::rt::{self, Cost, DisjointSlice, Tunable};
-use atgnn_tensor::{blocks, gemm, Activation, Dense, Scalar};
+use atgnn_tensor::{blocks, gemm, micro, Activation, Dense, Scalar};
 
 /// Stored entries below which the fused attention sweeps stay sequential.
 /// Override with `ATGNN_ATTENTION_PAR_THRESHOLD` (`0` forces parallel).
@@ -86,7 +86,8 @@ pub struct FusedAttention<T: Scalar> {
 /// Aggregates one output row: `out_row[t] += p_j · src[j, t]` for every
 /// stored neighbor `j`, processing feature columns in `tile`-wide slices
 /// so `src` rows are reused from cache across the neighborhood. The inner
-/// loop order (neighbors in storage order per output element) matches
+/// axpy ([`micro::axpy`]) is strictly elementwise and the loop order
+/// (neighbors in storage order per output element) matches
 /// [`crate::spmm::spmm`] exactly, so the floating-point result does not
 /// depend on the tile size.
 #[inline]
@@ -97,10 +98,7 @@ fn aggregate_row<T: Scalar>(out_row: &mut [T], cols: &[u32], p: &[T], src: &Dens
         let t1 = (t0 + tile).min(k);
         let out_t = &mut out_row[t0..t1];
         for (&c, &pv) in cols.iter().zip(p) {
-            let srow = &src.row(c as usize)[t0..t1];
-            for (o, &sv) in out_t.iter_mut().zip(srow) {
-                *o += pv * sv;
-            }
+            micro::axpy(out_t, pv, &src.row(c as usize)[t0..t1]);
         }
         t0 = t1;
     }

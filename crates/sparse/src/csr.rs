@@ -384,6 +384,79 @@ impl<T: Scalar> Csr<T> {
         }
     }
 
+    /// Symmetric vertex permutation: row and column `new` of the result are
+    /// row and column `perm[new]` of `self` (`B[i][j] = A[perm[i]][perm[j]]`).
+    ///
+    /// This is the locality-reordering primitive of the plan layer
+    /// (`atgnn::plan`); kernels never call it directly — a ci.sh lint pins
+    /// that, because reordering is an execution-plan decision and the
+    /// kernels must stay permutation-agnostic. Column indices of every row
+    /// are re-sorted, so the result upholds the same strictly-increasing
+    /// invariant as [`Csr::from_raw`].
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `perm` is not a permutation of
+    /// `0..rows`.
+    pub fn permute(&self, perm: &[u32]) -> Self {
+        assert_eq!(self.rows, self.cols, "permute: matrix must be square");
+        assert_eq!(
+            perm.len(),
+            self.rows,
+            "permute: permutation length mismatch"
+        );
+        let n = self.rows;
+        let mut inv = vec![u32::MAX; n];
+        for (new, &old) in perm.iter().enumerate() {
+            let old = old as usize;
+            assert!(old < n, "permute: index {old} out of range for n={n}");
+            assert_eq!(inv[old], u32::MAX, "permute: duplicate index {old}");
+            inv[old] = new as u32;
+        }
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0usize);
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![T::zero(); self.nnz()];
+        let mut rowbuf: Vec<(u32, T)> = Vec::new();
+        let mut at = 0usize;
+        for &old in perm {
+            let (cols, vals) = self.row(old as usize);
+            rowbuf.clear();
+            rowbuf.extend(cols.iter().zip(vals).map(|(&c, &v)| (inv[c as usize], v)));
+            rowbuf.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &rowbuf {
+                indices[at] = c;
+                values[at] = v;
+                at += 1;
+            }
+            indptr.push(at);
+        }
+        note_value_alloc();
+        Self {
+            rows: n,
+            cols: n,
+            indptr: Arc::new(indptr),
+            indices: Arc::new(indices),
+            values,
+        }
+    }
+
+    /// A cheap identity key for this matrix's shared structure, used by the
+    /// model layer to cache reorder permutations per adjacency.
+    ///
+    /// Two matrices with equal keys share the same `indptr`/`indices`
+    /// allocations (plus matching dimensions), so a permutation computed
+    /// for one is valid for the other. The pointer components mean the key
+    /// is only meaningful while the matrix is alive — treat it as a cache
+    /// tag, not a hash of the contents.
+    pub fn structure_key(&self) -> (usize, usize, usize, usize) {
+        (
+            Arc::as_ptr(&self.indptr) as usize,
+            Arc::as_ptr(&self.indices) as usize,
+            self.rows,
+            self.nnz(),
+        )
+    }
+
     /// Whether the matrix equals its transpose (pattern and values).
     pub fn is_symmetric(&self) -> bool {
         if self.rows != self.cols {
@@ -424,6 +497,45 @@ mod tests {
         assert_eq!(m.indptr(), &[0, 2, 2, 4]);
         assert_eq!(m.row(0).0, &[0, 2]);
         assert_eq!(m.row(2).1, &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn permute_reverse_matches_dense_reference() {
+        let m = sample();
+        // perm[new] = old: reverse order.
+        let p = m.permute(&[2, 1, 0]);
+        let d = m.to_dense();
+        let pd = p.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(pd[(i, j)], d[(2 - i, 2 - j)]);
+            }
+        }
+        // Columns must stay strictly increasing per row.
+        for i in 0..3 {
+            let cols = p.row(i).0;
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn permute_roundtrips_through_inverse() {
+        let m = sample();
+        let perm = [1u32, 2, 0];
+        let mut inv = [0u32; 3];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        let back = m.permute(&perm).permute(&inv);
+        assert_eq!(back.indptr(), m.indptr());
+        assert_eq!(back.row(0).0, m.row(0).0);
+        assert!(back.to_dense().max_abs_diff(&m.to_dense()) == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate index")]
+    fn permute_rejects_non_permutation() {
+        let _ = sample().permute(&[0, 0, 2]);
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! Instead the kernel iterates the non-zeros of the sparse sampler `A` and
 //! evaluates only the sampled dot products, producing values aligned to
 //! `A`'s pattern.
+//!
+//! The sampled dot products go through [`gemm::dot`], which dispatches to
+//! the 4-way unrolled `mul_add` microkernel (`atgnn_tensor::micro`) unless
+//! `ATGNN_MICROKERNEL=scalar` pins the original scalar loop.
 
 use crate::csr::Csr;
 use atgnn_tensor::rt::{self, Cost, DisjointSlice, Tunable};

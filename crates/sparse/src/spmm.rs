@@ -16,7 +16,7 @@
 use crate::csr::Csr;
 use crate::semiring::Semiring;
 use atgnn_tensor::rt::{self, Cost, DisjointSlice, Tunable};
-use atgnn_tensor::{gemm, ops, Dense, Scalar};
+use atgnn_tensor::{gemm, micro, ops, Dense, Scalar};
 use std::sync::Mutex;
 
 /// Result elements below which the row loop stays sequential. Override
@@ -30,10 +30,32 @@ static PAR_THRESHOLD: Tunable = Tunable::new("ATGNN_SPMM_PAR_THRESHOLD", 8 * 102
 /// across `ATGNN_THREADS` settings.
 static SPMM_T_PAR_THRESHOLD: Tunable = Tunable::new("ATGNN_SPMM_T_PAR_THRESHOLD", 64 * 1024);
 
-/// Fixed partial-buffer count for the parallel `spmm_t` scatter. A
-/// constant (not a thread-count multiple) so the reduction tree shape is
-/// identical for every `ATGNN_THREADS` setting.
-const SPMM_T_PARTIALS: usize = 8;
+/// Partial-buffer override for the parallel `spmm_t` scatter
+/// (`ATGNN_SPMMT_CHUNKS`). `0` (the default) derives the count from the
+/// problem size via [`spmm_t_chunk_count`]. Never a thread-count multiple,
+/// so the reduction tree shape is identical for every `ATGNN_THREADS`
+/// setting.
+static SPMM_T_CHUNKS: Tunable = Tunable::new("ATGNN_SPMMT_CHUNKS", 0);
+
+/// Minimum partial-buffer count (and the row-count floor for taking the
+/// parallel path at all).
+const SPMM_T_MIN_CHUNKS: usize = 8;
+
+/// Number of partial buffers for the parallel `spmm_t` scatter, derived
+/// from the problem size only (never the thread count) so the reduction
+/// tree — and therefore the floating-point result — is bit-identical
+/// across `ATGNN_THREADS` settings. Roughly one chunk per parallel-gate
+/// quantum of scatter work, clamped to `[8, 64]` and to the row count.
+fn spmm_t_chunk_count(rows: usize, nnz: usize, k: usize) -> usize {
+    let forced = SPMM_T_CHUNKS.get();
+    if forced > 0 {
+        return forced.min(rows.max(1));
+    }
+    let quantum = SPMM_T_PAR_THRESHOLD.get().max(1);
+    (nnz.saturating_mul(k.max(1)) / quantum)
+        .clamp(SPMM_T_MIN_CHUNKS, 64)
+        .min(rows.max(1))
+}
 
 /// Generalized SpMM: `out = A ⊕ H` over the given semiring
 /// (paper Section 4.3). `out[i][f] = finish(⊕_{j ∈ row i} a_ij ⊗ h_jf)`.
@@ -98,10 +120,7 @@ pub fn spmm<T: Scalar>(a: &Csr<T>, h: &Dense<T>) -> Dense<T> {
         for (i, out_row) in (lo..hi).zip(rows_out.chunks_mut(k.max(1))) {
             let (cols, vals) = a.row(i);
             for (&j, &av) in cols.iter().zip(vals) {
-                let hrow = h.row(j as usize);
-                for (o, &hv) in out_row.iter_mut().zip(hrow) {
-                    *o += av * hv;
-                }
+                micro::axpy(out_row, av, h.row(j as usize));
             }
         }
     });
@@ -116,10 +135,7 @@ fn spmm_t_scatter<T: Scalar>(a: &Csr<T>, h: &Dense<T>, lo: usize, hi: usize) -> 
         let (cols, vals) = a.row(i);
         let hrow = h.row(i);
         for (&j, &av) in cols.iter().zip(vals) {
-            let orow = out.row_mut(j as usize);
-            for (o, &hv) in orow.iter_mut().zip(hrow) {
-                *o += av * hv;
-            }
+            micro::axpy(out.row_mut(j as usize), av, hrow);
         }
     }
     out
@@ -131,27 +147,28 @@ fn spmm_t_scatter<T: Scalar>(a: &Csr<T>, h: &Dense<T>, lo: usize, hi: usize) -> 
 /// the undirected graphs dominating GNN workloads `Aᵀ = A`, but the kernel
 /// supports the general case.
 ///
-/// Large inputs scatter in parallel: input rows are cut into
-/// [`SPMM_T_PARTIALS`] nnz-balanced chunks (a grid derived from the
-/// problem size only), each chunk scatters into its own partial output,
-/// and partials merge pairwise in a fixed tree order — so the result is
-/// bit-identical for every `ATGNN_THREADS` setting, which the distributed
-/// tests and the training-determinism guarantee rely on.
+/// Large inputs scatter in parallel: input rows are cut into a
+/// size-derived number of nnz-balanced chunks ([`spmm_t_chunk_count`],
+/// overridable via `ATGNN_SPMMT_CHUNKS`), each chunk scatters into its own
+/// partial output, and partials merge pairwise in a fixed tree order — so
+/// the result is bit-identical for every `ATGNN_THREADS` setting, which
+/// the distributed tests and the training-determinism guarantee rely on.
 pub fn spmm_t<T: Scalar>(a: &Csr<T>, h: &Dense<T>) -> Dense<T> {
     assert_eq!(a.rows(), h.rows(), "spmm_t: dimension mismatch");
     let k = h.cols();
     let n_out = a.cols();
     let nnz = a.nnz();
+    let chunks = spmm_t_chunk_count(a.rows(), nnz, k);
     // Size-only path gate: enough scatter work to amortize the partial
-    // buffers, and enough stored entries that zero-initializing
-    // SPMM_T_PARTIALS output copies stays a minor cost.
+    // buffers, and enough stored entries that zero-initializing the
+    // partial output copies stays a minor cost.
     let heavy = nnz.saturating_mul(k.max(1)) >= SPMM_T_PAR_THRESHOLD.get()
         && nnz >= 2 * n_out.max(1)
-        && a.rows() >= SPMM_T_PARTIALS;
+        && a.rows() >= SPMM_T_MIN_CHUNKS;
     if !heavy {
         return spmm_t_scatter(a, h, 0, a.rows());
     }
-    let bounds = rt::balanced_boundaries(a.rows(), Cost::Prefix(a.indptr()), SPMM_T_PARTIALS);
+    let bounds = rt::balanced_boundaries(a.rows(), Cost::Prefix(a.indptr()), chunks);
     let n_parts = bounds.len() - 1;
     let partials: Vec<Mutex<Option<Dense<T>>>> = (0..n_parts).map(|_| Mutex::new(None)).collect();
     rt::dispatch(n_parts, |c| {
@@ -405,6 +422,28 @@ mod tests {
         assert_eq!(
             cheaper_order_for(1, 64, 0, FusedOnePass),
             ProductOrder::AggregateFirst
+        );
+    }
+
+    #[test]
+    fn spmm_t_chunk_count_is_size_derived_and_clamped() {
+        // Skip the derived-count assertions if a CI run pinned the knob.
+        if SPMM_T_CHUNKS.get() == 0 {
+            let q = SPMM_T_PAR_THRESHOLD.get().max(1);
+            // Work below one quantum clamps to the floor …
+            assert_eq!(spmm_t_chunk_count(1 << 20, 0, 8), SPMM_T_MIN_CHUNKS);
+            // … scales with nnz·k …
+            assert_eq!(spmm_t_chunk_count(1 << 20, 16 * q, 1), 16);
+            // … caps at 64 …
+            assert_eq!(spmm_t_chunk_count(1 << 20, 1000 * q, 1), 64);
+            // … and never exceeds the row count.
+            assert_eq!(spmm_t_chunk_count(4, 1000 * q, 1), 4);
+        }
+        // The thread count is not an input, so the grid (and the FP
+        // reduction tree) cannot vary across ATGNN_THREADS settings.
+        assert_eq!(
+            spmm_t_chunk_count(512, 4096, 16),
+            spmm_t_chunk_count(512, 4096, 16)
         );
     }
 

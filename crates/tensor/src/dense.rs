@@ -163,6 +163,27 @@ impl<T: Scalar> Dense<T> {
         }
     }
 
+    /// Gathers rows in the order given by `idx`: row `i` of the result is
+    /// row `idx[i]` of `self`. With a permutation this both applies a
+    /// reordering (`gather_rows(perm)` for `perm[new] = old`) and undoes
+    /// one (`gather_rows(inv)`), which is how the plan layer permutes
+    /// feature matrices and inverse-permutes model outputs.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather_rows(&self, idx: &[u32]) -> Self {
+        let k = self.cols;
+        let mut data = Vec::with_capacity(idx.len() * k);
+        for &src in idx {
+            data.extend_from_slice(self.row(src as usize));
+        }
+        Self {
+            rows: idx.len(),
+            cols: k,
+            data,
+        }
+    }
+
     /// Writes `block` into rows `[start, start+block.rows())`.
     pub fn set_rows(&mut self, start: usize, block: &Self) {
         assert_eq!(block.cols, self.cols, "column count mismatch");

@@ -14,6 +14,7 @@
 //!   attention vectors `u = H'a₁`.
 
 use crate::dense::Dense;
+use crate::micro;
 use crate::par;
 use crate::rt::{self, Cost, DisjointSlice, Tunable};
 use crate::scalar::Scalar;
@@ -39,6 +40,11 @@ pub fn matmul<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
     );
     let (m, k) = a.shape();
     let n = b.cols();
+    // Dispatch on the microkernel mode (a function of the environment and
+    // the problem size only, never the thread count).
+    if micro::blocked() && n >= 4 && k > 0 {
+        return matmul_blocked(a, b);
+    }
     let mut out = Dense::zeros(m, n);
     let bs = b.as_slice();
     let slots = DisjointSlice::new(out.as_mut_slice());
@@ -59,6 +65,130 @@ pub fn matmul<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
         }
     });
     out
+}
+
+/// Register-blocked `C = A · B`: B's 4-wide column panels are packed
+/// k-major so the 4×4 tile kernel streams them contiguously, and every
+/// output element accumulates with kk-ascending `mul_add`.
+///
+/// The FP sequence of each output element is a function of its row and
+/// column alone — the quad/single and panel/remainder kernels all use the
+/// same kk-ascending order — so the chunk boundaries handed out by
+/// [`rt::parallel_for`] (which depend on the thread count) never change
+/// results.
+fn matmul_blocked<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let n4 = n - n % 4;
+    let bs = b.as_slice();
+    // panel[jt][kk*4 + c] = B[kk][4*jt + c]
+    let mut packed = vec![T::zero(); k * n4];
+    for (jt, panel) in packed.chunks_exact_mut(4 * k).enumerate() {
+        for (kk, quad) in panel.chunks_exact_mut(4).enumerate() {
+            quad.copy_from_slice(&bs[kk * n + 4 * jt..kk * n + 4 * jt + 4]);
+        }
+    }
+    let mut out = Dense::zeros(m, n);
+    let slots = DisjointSlice::new(out.as_mut_slice());
+    let parallel = m * n >= PAR_THRESHOLD.get();
+    rt::parallel_for(m, Cost::Uniform, parallel, |lo, hi| {
+        // SAFETY: row ranges are disjoint across chunk bodies.
+        let rows_out = unsafe { slots.range_mut(lo * n, hi * n) };
+        let mut quads = rows_out.chunks_exact_mut(4 * n);
+        let mut i = lo;
+        for quad in &mut quads {
+            let (r0, rest) = quad.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            row_quad(
+                [a.row(i), a.row(i + 1), a.row(i + 2), a.row(i + 3)],
+                [r0, r1, r2, r3],
+                &packed,
+                bs,
+                k,
+                n,
+            );
+            i += 4;
+        }
+        for row_out in quads.into_remainder().chunks_mut(n.max(1)) {
+            row_single(a.row(i), row_out, &packed, bs, k, n);
+            i += 1;
+        }
+    });
+    out
+}
+
+/// 4×4 register tile: 16 accumulators, kk-ascending `mul_add`.
+fn row_quad<T: Scalar>(
+    ar: [&[T]; 4],
+    out: [&mut [T]; 4],
+    packed: &[T],
+    bs: &[T],
+    k: usize,
+    n: usize,
+) {
+    let n4 = n - n % 4;
+    let [o0, o1, o2, o3] = out;
+    for (jt, panel) in packed.chunks_exact(4 * k).enumerate() {
+        let j = 4 * jt;
+        let mut acc = [T::zero(); 16];
+        for ((((p, &a0), &a1), &a2), &a3) in panel
+            .chunks_exact(4)
+            .zip(ar[0])
+            .zip(ar[1])
+            .zip(ar[2])
+            .zip(ar[3])
+        {
+            for (c, &bv) in p.iter().enumerate() {
+                acc[c] = a0.mul_add(bv, acc[c]);
+                acc[4 + c] = a1.mul_add(bv, acc[4 + c]);
+                acc[8 + c] = a2.mul_add(bv, acc[8 + c]);
+                acc[12 + c] = a3.mul_add(bv, acc[12 + c]);
+            }
+        }
+        o0[j..j + 4].copy_from_slice(&acc[0..4]);
+        o1[j..j + 4].copy_from_slice(&acc[4..8]);
+        o2[j..j + 4].copy_from_slice(&acc[8..12]);
+        o3[j..j + 4].copy_from_slice(&acc[12..16]);
+    }
+    // Column remainder: stride down the unpacked column of B, still
+    // kk-ascending per element.
+    for j in n4..n {
+        let bcol = bs[j..].iter().step_by(n);
+        let mut acc = [T::zero(); 4];
+        for ((((&bv, &a0), &a1), &a2), &a3) in bcol.zip(ar[0]).zip(ar[1]).zip(ar[2]).zip(ar[3]) {
+            acc[0] = a0.mul_add(bv, acc[0]);
+            acc[1] = a1.mul_add(bv, acc[1]);
+            acc[2] = a2.mul_add(bv, acc[2]);
+            acc[3] = a3.mul_add(bv, acc[3]);
+        }
+        o0[j] = acc[0];
+        o1[j] = acc[1];
+        o2[j] = acc[2];
+        o3[j] = acc[3];
+    }
+}
+
+/// 1×4 tile for leftover rows — same kk-ascending FP order as [`row_quad`].
+fn row_single<T: Scalar>(arow: &[T], out: &mut [T], packed: &[T], bs: &[T], k: usize, n: usize) {
+    let n4 = n - n % 4;
+    for (jt, panel) in packed.chunks_exact(4 * k).enumerate() {
+        let j = 4 * jt;
+        let mut acc = [T::zero(); 4];
+        for (p, &av) in panel.chunks_exact(4).zip(arow) {
+            for (c, &bv) in p.iter().enumerate() {
+                acc[c] = av.mul_add(bv, acc[c]);
+            }
+        }
+        out[j..j + 4].copy_from_slice(&acc);
+    }
+    for (j, o) in out.iter_mut().enumerate().skip(n4) {
+        let mut acc = T::zero();
+        for (&bv, &av) in bs[j..].iter().step_by(n).zip(arow) {
+            acc = av.mul_add(bv, acc);
+        }
+        *o = acc;
+    }
 }
 
 /// `C = Aᵀ · B` without materializing `Aᵀ`.
@@ -91,9 +221,7 @@ pub fn matmul_tn<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
             let brow = b.row(r);
             for (kk, &av) in arow.iter().enumerate() {
                 let orow = &mut acc.as_mut_slice()[kk * j..kk * j + j];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
+                micro::axpy(orow, av, brow);
             }
         }
         acc
@@ -136,12 +264,7 @@ pub fn matmul_nt<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
         for (i, row_out) in (lo..hi).zip(rows_out.chunks_mut(n.max(1))) {
             let arow = a.row(i);
             for (jj, o) in row_out.iter_mut().enumerate() {
-                let brow = b.row(jj);
-                let mut acc = T::zero();
-                for (&x, &y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                *o = acc;
+                *o = dot(arow, b.row(jj));
             }
         }
     });
@@ -154,15 +277,7 @@ pub fn matmul_nt<T: Scalar>(a: &Dense<T>, b: &Dense<T>) -> Dense<T> {
 /// Panics if `A.cols() != x.len()`.
 pub fn matvec<T: Scalar>(a: &Dense<T>, x: &[T]) -> Vec<T> {
     assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
-    (0..a.rows())
-        .map(|i| {
-            a.row(i)
-                .iter()
-                .zip(x)
-                .map(|(&av, &xv)| av * xv)
-                .fold(T::zero(), |s, v| s + v)
-        })
-        .collect()
+    (0..a.rows()).map(|i| dot(a.row(i), x)).collect()
 }
 
 /// `y = Aᵀ · x` without materializing `Aᵀ`.
@@ -173,21 +288,16 @@ pub fn matvec_t<T: Scalar>(a: &Dense<T>, x: &[T]) -> Vec<T> {
     assert_eq!(a.rows(), x.len(), "matvec_t: dimension mismatch");
     let mut y = vec![T::zero(); a.cols()];
     for (i, &xv) in x.iter().enumerate() {
-        for (o, &av) in y.iter_mut().zip(a.row(i)) {
-            *o += av * xv;
-        }
+        micro::axpy(&mut y, xv, a.row(i));
     }
     y
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, dispatching on the active
+/// microkernel mode (see [`crate::micro`]).
 #[inline]
 pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
-    debug_assert_eq!(x.len(), y.len());
-    x.iter()
-        .zip(y)
-        .map(|(&a, &b)| a * b)
-        .fold(T::zero(), |s, v| s + v)
+    micro::dot(x, y)
 }
 
 #[cfg(test)]

@@ -18,6 +18,9 @@
 //!   derivatives `σ'`, applied between GNN layers.
 //! * [`init`] — deterministic, seedable random initializers (Glorot/Xavier
 //!   and friends) mirroring the artifact's `--seed` flag.
+//! * [`micro`] — register-blocked `mul_add` inner kernels (dot/axpy) and
+//!   the `ATGNN_MICROKERNEL` mode switch; the scalar loops remain available
+//!   as the bit-exact equivalence oracle.
 //! * [`rt`] — the persistent worker-pool runtime every kernel schedules
 //!   onto: nnz-balanced work descriptors, chunked self-scheduling,
 //!   deterministic reductions, per-thread scratch arenas, and the
@@ -34,6 +37,7 @@ pub mod blocks;
 pub mod dense;
 pub mod gemm;
 pub mod init;
+pub mod micro;
 pub mod ops;
 pub mod par;
 pub mod rng;

@@ -1,0 +1,213 @@
+//! Register-blocked microkernel primitives and the kernel-mode switch.
+//!
+//! The attention hot path spends its cycles in three inner-loop shapes: dot
+//! products (SDDMM scoring, `matmul_nt`), axpy updates (SpMM / attention
+//! aggregation, `matmul_tn`), and the dense `matmul` itself. This module
+//! provides 4-way register-blocked versions of the first two — written as
+//! safe `chunks_exact` loops over [`Scalar::mul_add`] that the
+//! autovectorizer lifts to FMA vector code — plus the process-wide switch
+//! that selects between them and the plain scalar loops.
+//!
+//! Two invariants the blocked kernels must uphold:
+//!
+//! * **Determinism across thread counts.** Chunk boundaries handed out by
+//!   [`crate::rt`] depend on the thread count, so a kernel's floating-point
+//!   result for one output element must not depend on where the chunk
+//!   around it starts. [`axpy`] is elementwise (every element sees the same
+//!   `alpha.mul_add(x, out)` regardless of blocking), and [`dot`] is only
+//!   ever invoked on whole rows, so its 4-lane accumulator grouping is a
+//!   function of the row alone.
+//! * **The scalar mode is the oracle.** `ATGNN_MICROKERNEL=scalar` must
+//!   reproduce the pre-microkernel loops bit-for-bit; CI pins this by
+//!   running the full test suite under that mode.
+
+use crate::scalar::Scalar;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which inner-kernel family the process uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MicroKernel {
+    /// Register-blocked `mul_add` kernels (the default).
+    #[default]
+    Blocked,
+    /// The original scalar `out += a * b` loops, kept as the bit-exact
+    /// equivalence oracle (`ATGNN_MICROKERNEL=scalar`).
+    Scalar,
+}
+
+const MODE_UNSET: u8 = 0;
+const MODE_BLOCKED: u8 = 1;
+const MODE_SCALAR: u8 = 2;
+
+/// Lazily initialized from `ATGNN_MICROKERNEL`; a plain atomic (not a
+/// `OnceLock`) so benches can sweep modes in one process via [`set_mode`].
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// The active kernel mode, reading `ATGNN_MICROKERNEL` on first use.
+/// Any value other than `scalar` selects the blocked kernels.
+pub fn mode() -> MicroKernel {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_BLOCKED => MicroKernel::Blocked,
+        MODE_SCALAR => MicroKernel::Scalar,
+        _ => {
+            let m = match std::env::var("ATGNN_MICROKERNEL").as_deref() {
+                Ok("scalar") => MicroKernel::Scalar,
+                _ => MicroKernel::Blocked,
+            };
+            set_mode(m);
+            m
+        }
+    }
+}
+
+/// Overrides the kernel mode for the rest of the process (bench sweeps).
+pub fn set_mode(m: MicroKernel) {
+    let v = match m {
+        MicroKernel::Blocked => MODE_BLOCKED,
+        MicroKernel::Scalar => MODE_SCALAR,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// Whether the blocked kernels are active.
+#[inline]
+pub fn blocked() -> bool {
+    mode() == MicroKernel::Blocked
+}
+
+/// Dot product `Σ x[i]·y[i]`, dispatching on the kernel mode.
+#[inline]
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    if blocked() {
+        dot_blocked(x, y)
+    } else {
+        dot_scalar(x, y)
+    }
+}
+
+/// The pre-microkernel dot product: multiply, then a single running sum.
+#[inline]
+pub fn dot_scalar<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y.iter())
+        .map(|(&a, &b)| a * b)
+        .fold(T::zero(), |acc, v| acc + v)
+}
+
+/// 4-accumulator unrolled dot product over `mul_add`.
+///
+/// The lane grouping — and therefore the FP rounding — depends only on the
+/// slice contents and length, so results are reproducible for a given row
+/// no matter which thread evaluates it.
+#[inline]
+pub fn dot_blocked<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = [T::zero(); 4];
+    let mut xc = x.chunks_exact(4);
+    let mut yc = y.chunks_exact(4);
+    for (xq, yq) in (&mut xc).zip(&mut yc) {
+        for ((a, &xv), &yv) in acc.iter_mut().zip(xq).zip(yq) {
+            *a = xv.mul_add(yv, *a);
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (&xv, &yv) in xc.remainder().iter().zip(yc.remainder()) {
+        s = xv.mul_add(yv, s);
+    }
+    s
+}
+
+/// `out[i] += alpha · x[i]`, dispatching on the kernel mode.
+///
+/// Both modes are strictly elementwise, so callers may slice the operands
+/// into arbitrary tiles (attention's column tiling, rt chunking) without
+/// changing any element's rounding sequence.
+#[inline]
+pub fn axpy<T: Scalar>(out: &mut [T], alpha: T, x: &[T]) {
+    debug_assert_eq!(out.len(), x.len());
+    if blocked() {
+        let mut oc = out.chunks_exact_mut(4);
+        let mut xc = x.chunks_exact(4);
+        for (oq, xq) in (&mut oc).zip(&mut xc) {
+            for (o, &xv) in oq.iter_mut().zip(xq) {
+                *o = alpha.mul_add(xv, *o);
+            }
+        }
+        for (o, &xv) in oc.into_remainder().iter_mut().zip(xc.remainder()) {
+            *o = alpha.mul_add(xv, *o);
+        }
+    } else {
+        for (o, &xv) in out.iter_mut().zip(x.iter()) {
+            *o += alpha * xv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, scale: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| scale * (i as f64 * 0.37 - 1.5).sin())
+            .collect()
+    }
+
+    #[test]
+    fn dot_blocked_matches_scalar_within_tolerance() {
+        for n in [0, 1, 3, 4, 7, 16, 33, 129] {
+            let x = seq(n, 1.3);
+            let y = seq(n, -0.7);
+            let a = dot_blocked(&x, &y);
+            let b = dot_scalar(&x, &y);
+            assert!(
+                (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
+                "n={n}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_blocked_is_deterministic() {
+        let x = seq(37, 0.9);
+        let y = seq(37, 1.1);
+        assert_eq!(dot_blocked(&x, &y).to_bits(), dot_blocked(&x, &y).to_bits());
+    }
+
+    #[test]
+    fn axpy_blocked_is_slice_invariant() {
+        // Elementwise blocking: running axpy on the whole row must be
+        // bit-identical to running it tile-by-tile at any split point.
+        let x = seq(21, 0.8);
+        let alpha = 0.613_f64;
+        let mut whole = seq(21, 2.0);
+        axpy(&mut whole, alpha, &x);
+        for split in 0..=21 {
+            let mut tiled = seq(21, 2.0);
+            let (lo, hi) = tiled.split_at_mut(split);
+            axpy(lo, alpha, &x[..split]);
+            axpy(hi, alpha, &x[split..]);
+            for (w, t) in whole.iter().zip(tiled.iter()) {
+                assert_eq!(w.to_bits(), t.to_bits(), "split={split}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_mode_axpy_matches_plain_loop_bits() {
+        let x = seq(13, 1.7);
+        let mut got = seq(13, -0.4);
+        let mut want = got.clone();
+        for (o, &xv) in want.iter_mut().zip(x.iter()) {
+            *o += 0.25 * xv;
+        }
+        // Call the scalar path directly (mode() is process-global).
+        for (o, &xv) in got.iter_mut().zip(x.iter()) {
+            *o += 0.25 * xv;
+        }
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+}

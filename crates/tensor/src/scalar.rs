@@ -58,6 +58,13 @@ pub trait Scalar:
     fn powi(self, p: i32) -> Self;
     /// Hyperbolic tangent.
     fn tanh(self) -> Self;
+    /// Fused multiply-add `self · a + b` with a single rounding.
+    ///
+    /// The register-blocked microkernels ([`crate::micro`]) build on this;
+    /// the workspace is compiled with `target-cpu=native` (see
+    /// `.cargo/config.toml`) so it lowers to a hardware FMA instruction
+    /// rather than a libm call.
+    fn mul_add(self, a: Self, b: Self) -> Self;
     /// IEEE maximum of two values.
     fn max(self, other: Self) -> Self;
     /// IEEE minimum of two values.
@@ -118,6 +125,10 @@ macro_rules! impl_scalar {
             #[inline(always)]
             fn tanh(self) -> Self {
                 <$t>::tanh(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
             }
             #[inline(always)]
             fn max(self, other: Self) -> Self {

@@ -1,0 +1,131 @@
+//! Property tests for the locality layer: `Csr::permute` invariants and
+//! the end-to-end guarantee that running the fused attention kernels on
+//! a reordered graph is observationally equivalent to the unordered run.
+//!
+//! Each property runs over seeded random cases (the in-repo ChaCha8
+//! [`Rng`]); a failing case is reproducible from the seed in the
+//! assertion message.
+
+use atgnn_graphgen::reorder;
+use atgnn_sparse::{attention, Coo, Csr};
+use atgnn_tensor::rng::Rng;
+use atgnn_tensor::Dense;
+
+const CASES: u64 = 48;
+
+/// A random square adjacency with self-loops, n in [4, 24).
+fn arb_adjacency(rng: &mut Rng) -> Csr<f64> {
+    let n = rng.gen_range(4, 24);
+    let m = rng.gen_range(1, 100);
+    let mut edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| (rng.gen_index(n) as u32, rng.gen_index(n) as u32))
+        .collect();
+    edges.extend((0..n as u32).map(|i| (i, i)));
+    let mut coo = Coo::<f64>::from_edges(n, n, edges);
+    coo.dedup_binary();
+    Csr::from_coo(&coo)
+}
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates).
+fn arb_permutation(rng: &mut Rng, n: usize) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.gen_index(i + 1));
+    }
+    perm
+}
+
+fn assert_csr_eq(a: &Csr<f64>, b: &Csr<f64>, msg: &str) {
+    assert_eq!(a.rows(), b.rows(), "{msg}: row count");
+    for r in 0..a.rows() {
+        let (ca, va) = a.row(r);
+        let (cb, vb) = b.row(r);
+        assert_eq!(ca, cb, "{msg}: columns of row {r}");
+        assert_eq!(va, vb, "{msg}: values of row {r}");
+    }
+}
+
+#[test]
+fn permute_then_inverse_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x700 + case);
+        let a = arb_adjacency(&mut rng);
+        let perm = arb_permutation(&mut rng, a.rows());
+        let inv = reorder::inverse(&perm);
+        let back = a.permute(&perm).permute(&inv);
+        assert_csr_eq(&back, &a, &format!("case {case}"));
+    }
+}
+
+#[test]
+fn permute_keeps_columns_strictly_increasing() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x800 + case);
+        let a = arb_adjacency(&mut rng);
+        let perm = arb_permutation(&mut rng, a.rows());
+        let p = a.permute(&perm);
+        assert_eq!(p.nnz(), a.nnz(), "case {case}: nnz preserved");
+        for r in 0..p.rows() {
+            let (cols, _) = p.row(r);
+            for w in cols.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "case {case}: row {r} columns not strictly increasing"
+                );
+            }
+        }
+    }
+}
+
+/// The computed reordering permutations (degree sort and RCM) are valid
+/// permutations, and `reorder::inverse` inverts them.
+#[test]
+fn strategy_permutations_are_valid() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x900 + case);
+        let a = arb_adjacency(&mut rng);
+        for strategy in [reorder::Strategy::Degree, reorder::Strategy::Rcm] {
+            let perm = reorder::permutation(&a, strategy)
+                .unwrap_or_else(|| panic!("case {case}: forced strategy must produce a perm"));
+            let inv = reorder::inverse(&perm);
+            for (old, &new) in inv.iter().enumerate() {
+                assert_eq!(
+                    perm[new as usize] as usize, old,
+                    "case {case} {strategy:?}: inverse mismatch at {old}"
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end oracle: fused GAT attention on the permuted graph, with
+/// permuted inputs, equals the unpermuted run after mapping the output
+/// back through the inverse permutation.
+#[test]
+fn fused_attention_commutes_with_permutation() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xa00 + case);
+        let a = arb_adjacency(&mut rng);
+        let n = a.rows();
+        let k = rng.gen_range(1, 9);
+        let u: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let v: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let hp = Dense::from_fn(n, k, |i, j| ((i * 13 + j * 7) % 19) as f64 / 9.0 - 1.0);
+        let want = attention::attention_forward_gat(&a, &u, &v, &hp, 0.2, false).out;
+
+        let perm = arb_permutation(&mut rng, n);
+        let inv = reorder::inverse(&perm);
+        let ap = a.permute(&perm);
+        let up: Vec<f64> = perm.iter().map(|&o| u[o as usize]).collect();
+        let vp: Vec<f64> = perm.iter().map(|&o| v[o as usize]).collect();
+        let hpp = hp.gather_rows(&perm);
+        let got = attention::attention_forward_gat(&ap, &up, &vp, &hpp, 0.2, false)
+            .out
+            .gather_rows(&inv);
+        let err = got.max_abs_diff(&want);
+        assert!(
+            err < 1e-6,
+            "case {case}: permuted fused GAT diverges by {err:.2e}"
+        );
+    }
+}
