@@ -110,6 +110,32 @@ if [ "$bad" -ne 0 ]; then
     exit 1
 fi
 
+echo "== lint: dist code must use the deadline-bounded recv =="
+# Comm::recv carries the fault-injection protocol (dedup, checksums,
+# retransmission) and a recv deadline; recv_unbounded is the legacy
+# blocking path that survives only for fault-free unit tests inside
+# crates/net. Distributed engine code calling it would hang forever on a
+# lost frame instead of failing within the timeout.
+bad=0
+while IFS= read -r file; do
+    if grep -nF 'recv_unbounded(' "$file" >/dev/null; then
+        echo "legacy unbounded recv in dist code: $file"
+        grep -nF 'recv_unbounded(' "$file"
+        bad=1
+    fi
+done < <(find crates/dist/src -name '*.rs')
+if [ "$bad" -ne 0 ]; then
+    echo "FAILED: crates/dist must use Comm::recv (deadline-bounded, self-healing)"
+    exit 1
+fi
+
+echo "== chaos smoke (one bounded run per fault class) =="
+# Injects each fault class (drop, delay, dup, corrupt, crash, hang) into
+# a short distributed GAT training job and asserts the run heals with a
+# bit-identical final loss. Every run is fenced by the plan's recv and
+# barrier timeouts, so a liveness regression fails in seconds.
+cargo run --release -q -p atgnn-bench --bin chaos
+
 echo "== ablation_fusion smoke (staged vs one-pass harness) =="
 # Smoke mode: smallest graph only, no timing assertions — verifies the
 # staged/one-pass pipeline harness and the BENCH_fusion.json writer run.

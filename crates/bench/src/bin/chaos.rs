@@ -1,0 +1,144 @@
+//! Chaos smoke: one bounded, fault-injected distributed training run per
+//! fault class, each checked for bit-identical results.
+//!
+//! This is the CI-facing face of the fault-injection layer: for every
+//! class the plan language supports (drop, delay, duplicate, corrupt,
+//! crash, hang) it runs a short GAT training job on the simulated
+//! cluster under a seeded plan, asserts the class actually fired, that
+//! the run healed (resends / dedup / checkpoint recovery as
+//! appropriate), and that the final loss matches the fault-free run bit
+//! for bit. Every run is deadline-bounded by the plan's recv/barrier
+//! timeout, so a liveness regression fails in seconds.
+
+use atgnn::{GnnModel, ModelKind};
+use atgnn_dist::{train_mse_with_recovery, DistGnnModel, RecoveryConfig};
+use atgnn_graphgen::erdos_renyi;
+use atgnn_net::FaultPlan;
+use atgnn_tensor::{init, Activation};
+use std::time::Instant;
+
+const P: usize = 4;
+const STEPS: u64 = 6;
+const K_IN: usize = 8;
+const K_OUT: usize = 4;
+
+fn run(name: &str, plan: &FaultPlan) -> atgnn_dist::RecoveryReport<f64> {
+    let n = 96;
+    let a = erdos_renyi::adjacency::<f64>(n, 768, 31);
+    let prepared = GnnModel::<f64>::prepare_adjacency(ModelKind::Gat, &a);
+    let x = init::features::<f64>(n, K_IN, 3);
+    let target = init::features::<f64>(n, K_OUT, 5);
+    let dir = std::env::temp_dir().join("atgnn_chaos");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cfg = RecoveryConfig {
+        ckpt_every: 2,
+        ckpt_path: dir.join(format!("{name}.ckpt")),
+        max_attempts: 3,
+    };
+    let t0 = Instant::now();
+    let report = train_mse_with_recovery(
+        P,
+        plan,
+        &cfg,
+        &prepared,
+        &x,
+        &target,
+        || DistGnnModel::<f64>::uniform(ModelKind::Gat, &[K_IN, 8, K_OUT], Activation::Tanh, 11),
+        STEPS,
+        0.02,
+        K_OUT,
+    )
+    .unwrap_or_else(|e| panic!("{name}: training did not survive: {e}"));
+    let events = report.stats.fault_totals();
+    println!(
+        "{name:<8} {:>6.1?}  attempts={} resumed_at={} final_loss={:.6}  {events:?}",
+        t0.elapsed(),
+        report.attempts,
+        report.first_step,
+        report.final_loss(),
+    );
+    report
+}
+
+fn main() {
+    // Injected faults surface as rank panics that the supervisor catches
+    // and reports; keep their backtraces out of the smoke's output while
+    // leaving genuine failures loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        let expected = msg.starts_with("injected fault:")
+            || msg.contains("aborted")
+            || msg.contains("timeout");
+        if !expected {
+            default_hook(info);
+        }
+    }));
+
+    // Short leashes: a wedged collective must fail the smoke in seconds.
+    let fence = |p: FaultPlan| p.with_timeout_ms(5_000).with_retries(8);
+
+    let clean = run("clean", &FaultPlan::none());
+    assert_eq!(clean.stats.total_fault_events(), 0, "clean run saw faults");
+    let want = clean.final_loss().to_bits();
+    // Place rank faults at ~half the clean run's (deterministic)
+    // superstep count — mid-epoch, past the first checkpoint.
+    let mid = clean.stats.max_supersteps() / 2;
+
+    let drop = run("drop", &fence(FaultPlan::seeded(41).with_drop(0.15)));
+    let ev = drop.stats.fault_totals();
+    assert!(
+        ev.drops_injected > 0 && ev.resends > 0,
+        "drops must heal via resend"
+    );
+
+    let delay = run("delay", &fence(FaultPlan::seeded(43).with_delay(0.20, 300)));
+    assert!(
+        delay.stats.fault_totals().delays_injected > 0,
+        "no delays fired"
+    );
+
+    let dup = run("dup", &fence(FaultPlan::seeded(47).with_dup(0.15)));
+    let ev = dup.stats.fault_totals();
+    assert!(
+        ev.dups_injected > 0 && ev.dups_discarded > 0,
+        "dups must be deduped"
+    );
+
+    let corrupt = run("corrupt", &fence(FaultPlan::seeded(53).with_corrupt(0.20)));
+    let ev = corrupt.stats.fault_totals();
+    assert!(
+        ev.corruptions_injected > 0 && ev.corruptions_detected > 0 && ev.resends > 0,
+        "corruption must be caught by checksum and healed by resend"
+    );
+
+    let crash = run("crash", &fence(FaultPlan::seeded(59).with_crash(1, mid)));
+    assert_eq!(
+        crash.recoveries, 1,
+        "the crash must be recovered exactly once"
+    );
+
+    let hang = run("hang", &fence(FaultPlan::seeded(61).with_hang(2, mid)));
+    assert_eq!(hang.recoveries, 1, "the hang must be fenced and recovered");
+
+    for (name, report) in [
+        ("drop", &drop),
+        ("delay", &delay),
+        ("dup", &dup),
+        ("corrupt", &corrupt),
+        ("crash", &crash),
+        ("hang", &hang),
+    ] {
+        assert_eq!(
+            report.final_loss().to_bits(),
+            want,
+            "{name}: final loss diverged from the fault-free run"
+        );
+    }
+    println!("chaos smoke: all six fault classes healed bit-identically");
+}

@@ -10,7 +10,7 @@
 
 use atgnn::analyze::comm::{check_grid, layer_volume_words, GridSpec};
 use atgnn::ModelKind;
-use atgnn_bench::measure::{comm_global, comm_local, Task};
+use atgnn_bench::measure::{comm_global, comm_global_supervised, comm_local, Task};
 use atgnn_bench::report::{Record, Reporter};
 use atgnn_bench::scale;
 use atgnn_graphgen::{erdos_renyi, stats::DegreeStats};
@@ -117,6 +117,38 @@ fn main() {
             assert!(
                 (l.max_rank_bytes() as f64) < 3.0 * predicted,
                 "local volume exceeds the Ω bound band"
+            );
+        }
+    }
+
+    println!("-- fault machinery overhead: zero when no plan is active --");
+    {
+        let m = (n * n) / 1000;
+        let a = erdos_renyi::adjacency::<f32>(n, m.max(n), 17);
+        for (task, label) in [(Task::Inference, "inference"), (Task::Training, "training")] {
+            let base = comm_global(ModelKind::Gat, &a, k, layers, 4, task);
+            let plan = atgnn_net::FaultPlan::none();
+            let sup = comm_global_supervised(ModelKind::Gat, &a, k, layers, 4, task, &plan);
+            println!(
+                "{label:<10} bytes={} supersteps={} fault_events={}",
+                sup.total_bytes(),
+                sup.max_supersteps(),
+                sup.total_fault_events()
+            );
+            assert_eq!(
+                sup.total_bytes(),
+                base.total_bytes(),
+                "an inactive fault plan must add zero bytes"
+            );
+            assert_eq!(
+                sup.max_supersteps(),
+                base.max_supersteps(),
+                "an inactive fault plan must add zero supersteps"
+            );
+            assert_eq!(
+                sup.total_fault_events(),
+                0,
+                "an inactive fault plan must record zero fault events"
             );
         }
     }

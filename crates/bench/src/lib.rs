@@ -57,7 +57,7 @@ pub fn scale() -> usize {
 /// per-rank work is proportional to the owned block's nnz, so the
 /// parallel compute time is `T₁/p · (max block nnz)/(mean block nnz)`.
 pub fn imbalance_2d<T: Scalar>(a: &Csr<T>, p: usize) -> f64 {
-    let grid = atgnn_dist::Grid::from_ranks(p);
+    let grid = atgnn_dist::Grid::from_ranks(p).expect("square rank count");
     let n = a.rows();
     let mut max_nnz = 0usize;
     for i in 0..grid.q {

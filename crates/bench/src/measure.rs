@@ -9,7 +9,7 @@ use atgnn::{GnnModel, ModelKind};
 use atgnn_baseline::halo::{HaloPlan, LocalDistModel, Partition1d};
 use atgnn_baseline::minibatch;
 use atgnn_dist::{DistContext, DistGnnModel};
-use atgnn_net::{Cluster, CommStats, MachineModel};
+use atgnn_net::{Cluster, CommStats, FaultPlan, MachineModel};
 use atgnn_sparse::Csr;
 use atgnn_tensor::{init, Activation};
 use std::time::Instant;
@@ -103,7 +103,7 @@ pub fn comm_global(
     let target = init::features::<f32>(n, k, 9);
     let dims = vec![k; layers + 1];
     let (_, stats) = Cluster::run(p, move |comm| {
-        let ctx = DistContext::new(&comm, &a);
+        let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
         let mut model = DistGnnModel::<f32>::uniform(kind, &dims, Activation::Relu, 5);
         let (c0, c1) = ctx.col_range();
         let x_j = x.slice_rows(c0, c1 - c0);
@@ -117,6 +117,44 @@ pub fn comm_global(
             }
         }
     });
+    stats
+}
+
+/// Same measurement as [`comm_global`], but through the supervised entry
+/// point with an explicit fault plan. With [`FaultPlan::none`] this must
+/// report byte- and superstep-counts identical to [`comm_global`] — the
+/// fault machinery costs nothing when no plan is active, and
+/// `comm_volume` asserts it.
+pub fn comm_global_supervised(
+    kind: ModelKind,
+    a: &Csr<f32>,
+    k: usize,
+    layers: usize,
+    p: usize,
+    task: Task,
+    plan: &FaultPlan,
+) -> CommStats {
+    let a = GnnModel::<f32>::prepare_adjacency(kind, a);
+    let n = a.rows();
+    let x = init::features::<f32>(n, k, 7);
+    let target = init::features::<f32>(n, k, 9);
+    let dims = vec![k; layers + 1];
+    let (_, stats) = Cluster::run_supervised(p, plan, move |comm| {
+        let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
+        let mut model = DistGnnModel::<f32>::uniform(kind, &dims, Activation::Relu, 5);
+        let (c0, c1) = ctx.col_range();
+        let x_j = x.slice_rows(c0, c1 - c0);
+        match task {
+            Task::Inference => {
+                model.inference(&ctx, &x_j);
+            }
+            Task::Training => {
+                let t_j = target.slice_rows(c0, c1 - c0);
+                model.train_step_mse(&ctx, &x_j, &t_j, 0.001, k);
+            }
+        }
+    })
+    .expect("supervised run failed");
     stats
 }
 

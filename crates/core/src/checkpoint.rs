@@ -4,96 +4,260 @@
 //!
 //! ```text
 //! magic  b"ATGNNCKPT"                 (9 bytes)
+//! step   u64                          (training step the state belongs to)
 //! layers u64
 //! per layer:  slots u64, then per slot: len u64, len × f64 values
+//! crc32  u32                          (IEEE, over every preceding byte)
 //! ```
 //!
 //! Values are stored as `f64` regardless of the model's scalar type, so a
 //! checkpoint written from an `f64` training run restores into an `f32`
 //! inference model (matching the paper's float32 deployment).
+//!
+//! Loading is hardened against damaged files: the whole file is read up
+//! front, a truncated file or a CRC mismatch is rejected with a typed
+//! [`CheckpointError`] — a recovery protocol restarting from a silently
+//! garbage checkpoint would be worse than no checkpoint at all. Writes go
+//! through a temp file + rename so a crash mid-write never leaves a
+//! half-written file at the checkpoint path.
 
 use crate::model::GnnModel;
 use atgnn_tensor::Scalar;
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 9] = b"ATGNNCKPT";
 
-/// Saves every parameter of `model` to `path`.
-pub fn save<T: Scalar>(model: &GnnModel<T>, path: &Path) -> io::Result<()> {
-    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-    f.write_all(MAGIC)?;
-    f.write_all(&(model.depth() as u64).to_le_bytes())?;
-    for layer in model.layers() {
-        let slots = layer.param_slices();
-        f.write_all(&(slots.len() as u64).to_le_bytes())?;
-        for slot in slots {
-            f.write_all(&(slot.len() as u64).to_le_bytes())?;
+/// Why a checkpoint could not be saved or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file does not start with the checkpoint magic.
+    NotACheckpoint,
+    /// The file ends before its declared contents (torn write / partial
+    /// copy).
+    Truncated,
+    /// The stored CRC32 does not match the file contents (bit rot /
+    /// corruption in transit).
+    ChecksumMismatch {
+        /// CRC stored in the file trailer.
+        stored: u32,
+        /// CRC computed over the file contents.
+        computed: u32,
+    },
+    /// The checkpoint's layer/slot/length structure does not match the
+    /// model it is being restored into.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::NotACheckpoint => write!(f, "not a checkpoint file"),
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CheckpointError::ShapeMismatch(msg) => write!(f, "checkpoint shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, bitwise — no tables, no dependencies).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The raw contents of a checkpoint: the training step it belongs to and
+/// every parameter value as `layers → slots → values` (always `f64` on
+/// disk).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RawCheckpoint {
+    /// Training step the parameters belong to.
+    pub step: u64,
+    /// Parameter values, `layers → slots → values`.
+    pub layers: Vec<Vec<Vec<f64>>>,
+}
+
+/// Serializes `layers → slots → values` (plus the training `step`) to
+/// `path`, with a CRC32 trailer. The write is atomic: contents land in
+/// `<path>.tmp` first and are renamed over `path` only when complete, so
+/// a crash mid-write cannot leave a torn checkpoint behind.
+pub fn save_raw(step: u64, layers: &[Vec<Vec<f64>>], path: &Path) -> Result<(), CheckpointError> {
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&step.to_le_bytes());
+    buf.extend_from_slice(&(layers.len() as u64).to_le_bytes());
+    for layer in layers {
+        buf.extend_from_slice(&(layer.len() as u64).to_le_bytes());
+        for slot in layer {
+            buf.extend_from_slice(&(slot.len() as u64).to_le_bytes());
             for &v in slot {
-                f.write_all(&v.to_f64().to_le_bytes())?;
+                buf.extend_from_slice(&v.to_le_bytes());
             }
         }
     }
-    f.flush()
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and verifies a checkpoint file: magic, complete contents, CRC.
+pub fn load_raw(path: &Path) -> Result<RawCheckpoint, CheckpointError> {
+    let data = std::fs::read(path)?;
+    if data.len() < MAGIC.len() {
+        return Err(
+            if data.starts_with(&MAGIC[..data.len()]) && !data.is_empty() {
+                CheckpointError::Truncated
+            } else {
+                CheckpointError::NotACheckpoint
+            },
+        );
+    }
+    if &data[..MAGIC.len()] != MAGIC {
+        return Err(CheckpointError::NotACheckpoint);
+    }
+    if data.len() < MAGIC.len() + 8 + 8 + 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, trailer) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
+    }
+    let mut cursor = &body[MAGIC.len()..];
+    let mut take = |n: usize| -> Result<&[u8], CheckpointError> {
+        if cursor.len() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let (head, rest) = cursor.split_at(n);
+        cursor = rest;
+        Ok(head)
+    };
+    let read_u64 = |bytes: &[u8]| u64::from_le_bytes(bytes.try_into().expect("8-byte word"));
+    let step = read_u64(take(8)?);
+    let n_layers = read_u64(take(8)?) as usize;
+    let mut layers = Vec::with_capacity(n_layers.min(1024));
+    for _ in 0..n_layers {
+        let n_slots = read_u64(take(8)?) as usize;
+        let mut slots = Vec::with_capacity(n_slots.min(1024));
+        for _ in 0..n_slots {
+            let len = read_u64(take(8)?) as usize;
+            let raw = take(len.checked_mul(8).ok_or(CheckpointError::Truncated)?)?;
+            slots.push(
+                raw.chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte value")))
+                    .collect(),
+            );
+        }
+        layers.push(slots);
+    }
+    Ok(RawCheckpoint { step, layers })
+}
+
+/// Saves every parameter of `model` to `path` (training step recorded as
+/// 0 — use [`save_raw`] to checkpoint mid-training state).
+pub fn save<T: Scalar>(model: &GnnModel<T>, path: &Path) -> Result<(), CheckpointError> {
+    let layers: Vec<Vec<Vec<f64>>> = model
+        .layers()
+        .iter()
+        .map(|layer| {
+            layer
+                .param_slices()
+                .iter()
+                .map(|slot| slot.iter().map(|v| v.to_f64()).collect())
+                .collect()
+        })
+        .collect();
+    save_raw(0, &layers, path)
+}
+
+/// Copies verified checkpoint contents into `layers → slots` parameter
+/// slices, with full shape checking.
+pub fn restore_slices<T: Scalar>(
+    raw: &RawCheckpoint,
+    mut params: Vec<Vec<&mut [T]>>,
+) -> Result<(), CheckpointError> {
+    if raw.layers.len() != params.len() {
+        return Err(CheckpointError::ShapeMismatch(format!(
+            "checkpoint has {} layers, model has {}",
+            raw.layers.len(),
+            params.len()
+        )));
+    }
+    for (l, (saved, live)) in raw.layers.iter().zip(params.iter_mut()).enumerate() {
+        if saved.len() != live.len() {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "layer {l} expects {} slots, checkpoint has {}",
+                live.len(),
+                saved.len()
+            )));
+        }
+        for (s, (saved_slot, live_slot)) in saved.iter().zip(live.iter_mut()).enumerate() {
+            if saved_slot.len() != live_slot.len() {
+                return Err(CheckpointError::ShapeMismatch(format!(
+                    "layer {l} slot {s} expects {} values, checkpoint has {}",
+                    live_slot.len(),
+                    saved_slot.len()
+                )));
+            }
+            for (dst, &src) in live_slot.iter_mut().zip(saved_slot) {
+                *dst = T::from_f64(src);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Restores parameters into `model` (which must have been constructed
 /// with the same architecture).
 ///
 /// # Errors
-/// Returns `InvalidData` if the file is not a checkpoint or its shape
-/// does not match the model.
-pub fn load<T: Scalar>(model: &mut GnnModel<T>, path: &Path) -> io::Result<()> {
-    let mut f = io::BufReader::new(std::fs::File::open(path)?);
-    let mut magic = [0u8; 9];
-    f.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a checkpoint",
-        ));
-    }
-    let mut u64buf = [0u8; 8];
-    f.read_exact(&mut u64buf)?;
-    let layers = u64::from_le_bytes(u64buf) as usize;
-    if layers != model.depth() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "checkpoint has {layers} layers, model has {}",
-                model.depth()
-            ),
-        ));
-    }
-    for layer in model.layers_mut() {
-        f.read_exact(&mut u64buf)?;
-        let slots = u64::from_le_bytes(u64buf) as usize;
-        let mut params = layer.param_slices_mut();
-        if slots != params.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "layer expects {} slots, checkpoint has {slots}",
-                    params.len()
-                ),
-            ));
-        }
-        for slot in params.iter_mut() {
-            f.read_exact(&mut u64buf)?;
-            let len = u64::from_le_bytes(u64buf) as usize;
-            if len != slot.len() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("slot expects {} values, checkpoint has {len}", slot.len()),
-                ));
-            }
-            for v in slot.iter_mut() {
-                f.read_exact(&mut u64buf)?;
-                *v = T::from_f64(f64::from_le_bytes(u64buf));
-            }
-        }
-    }
-    Ok(())
+/// Returns a typed [`CheckpointError`] if the file is damaged (not a
+/// checkpoint, truncated, checksum mismatch) or its shape does not match
+/// the model.
+pub fn load<T: Scalar>(model: &mut GnnModel<T>, path: &Path) -> Result<(), CheckpointError> {
+    let raw = load_raw(path)?;
+    let params: Vec<Vec<&mut [T]>> = model
+        .layers_mut()
+        .iter_mut()
+        .map(|layer| layer.param_slices_mut())
+        .collect();
+    restore_slices(&raw, params)
 }
 
 #[cfg(test)]
@@ -103,20 +267,20 @@ mod tests {
     use atgnn_graphgen::kronecker;
     use atgnn_tensor::{init, Activation};
 
-    fn tmp(name: &str) -> io::Result<std::path::PathBuf> {
+    fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("atgnn_ckpt");
-        std::fs::create_dir_all(&dir)?;
-        Ok(dir.join(name))
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
     }
 
     #[test]
-    fn round_trip_restores_exact_outputs() -> io::Result<()> {
+    fn round_trip_restores_exact_outputs() -> Result<(), CheckpointError> {
         let a = kronecker::adjacency::<f64>(32, 128, 1);
         let a = GnnModel::<f64>::prepare_adjacency(ModelKind::Gat, &a);
         let x = init::features::<f64>(32, 4, 2);
         let model = GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 6, 2], Activation::Elu, 3);
         let want = model.inference(&a, &x);
-        let path = tmp("gat.ckpt")?;
+        let path = tmp("gat.ckpt");
         save(&model, &path)?;
         // A differently-seeded model produces different outputs...
         let mut other = GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 6, 2], Activation::Elu, 99);
@@ -129,9 +293,9 @@ mod tests {
     }
 
     #[test]
-    fn cross_precision_restore() -> io::Result<()> {
+    fn cross_precision_restore() -> Result<(), CheckpointError> {
         let model = GnnModel::<f64>::uniform(ModelKind::Agnn, &[4, 4], Activation::Relu, 5);
-        let path = tmp("agnn.ckpt")?;
+        let path = tmp("agnn.ckpt");
         save(&model, &path)?;
         let mut f32_model =
             GnnModel::<f32>::uniform(ModelKind::Agnn, &[4, 4], Activation::Relu, 77);
@@ -145,27 +309,94 @@ mod tests {
     }
 
     #[test]
-    fn shape_mismatch_is_rejected() -> io::Result<()> {
+    fn shape_mismatch_is_rejected() -> Result<(), CheckpointError> {
         let model = GnnModel::<f64>::uniform(ModelKind::Va, &[4, 4], Activation::Relu, 7);
-        let path = tmp("va.ckpt")?;
+        let path = tmp("va.ckpt");
         save(&model, &path)?;
         let mut wrong_depth =
             GnnModel::<f64>::uniform(ModelKind::Va, &[4, 4, 4], Activation::Relu, 7);
-        assert!(load(&mut wrong_depth, &path).is_err());
+        assert!(matches!(
+            load(&mut wrong_depth, &path),
+            Err(CheckpointError::ShapeMismatch(_))
+        ));
         let mut wrong_dims = GnnModel::<f64>::uniform(ModelKind::Va, &[4, 8], Activation::Relu, 7);
-        assert!(load(&mut wrong_dims, &path).is_err());
+        assert!(matches!(
+            load(&mut wrong_dims, &path),
+            Err(CheckpointError::ShapeMismatch(_))
+        ));
         let mut wrong_kind = GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 4], Activation::Relu, 7);
-        assert!(load(&mut wrong_kind, &path).is_err());
+        assert!(matches!(
+            load(&mut wrong_kind, &path),
+            Err(CheckpointError::ShapeMismatch(_))
+        ));
         std::fs::remove_file(path).ok();
         Ok(())
     }
 
     #[test]
-    fn garbage_file_is_rejected() -> io::Result<()> {
-        let path = tmp("garbage.ckpt")?;
+    fn garbage_file_is_rejected() -> Result<(), CheckpointError> {
+        let path = tmp("garbage.ckpt");
         std::fs::write(&path, b"not a checkpoint at all")?;
         let mut model = GnnModel::<f64>::uniform(ModelKind::Gcn, &[2, 2], Activation::Relu, 9);
-        assert!(load(&mut model, &path).is_err());
+        assert!(matches!(
+            load(&mut model, &path),
+            Err(CheckpointError::NotACheckpoint)
+        ));
+        std::fs::remove_file(path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn corruption_round_trip_is_rejected() -> Result<(), CheckpointError> {
+        let model = GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 6, 2], Activation::Elu, 3);
+        let path = tmp("corrupt.ckpt");
+        save(&model, &path)?;
+        // Sanity: the pristine file loads.
+        let mut restored = GnnModel::<f64>::uniform(ModelKind::Gat, &[4, 6, 2], Activation::Elu, 1);
+        load(&mut restored, &path)?;
+        // Flip one payload bit: the CRC must catch it.
+        let mut bytes = std::fs::read(&path)?;
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes)?;
+        assert!(matches!(
+            load(&mut restored, &path),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() -> Result<(), CheckpointError> {
+        let model = GnnModel::<f64>::uniform(ModelKind::Agnn, &[4, 4], Activation::Relu, 5);
+        let path = tmp("trunc.ckpt");
+        save(&model, &path)?;
+        let bytes = std::fs::read(&path)?;
+        // Every truncation point must be rejected, never silently read.
+        for keep in [bytes.len() - 1, bytes.len() / 2, MAGIC.len() + 3, 1] {
+            std::fs::write(&path, &bytes[..keep])?;
+            let mut m = GnnModel::<f64>::uniform(ModelKind::Agnn, &[4, 4], Activation::Relu, 1);
+            assert!(
+                load(&mut m, &path).is_err(),
+                "truncation to {keep} bytes must fail"
+            );
+        }
+        std::fs::remove_file(path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_step_and_bits() -> Result<(), CheckpointError> {
+        let layers = vec![
+            vec![vec![1.5f64, -2.25, 1e-300], vec![]],
+            vec![vec![f64::MIN_POSITIVE]],
+        ];
+        let path = tmp("raw.ckpt");
+        save_raw(1234, &layers, &path)?;
+        let raw = load_raw(&path)?;
+        assert_eq!(raw.step, 1234);
+        assert_eq!(raw.layers, layers);
         std::fs::remove_file(path).ok();
         Ok(())
     }

@@ -18,12 +18,52 @@
 //! * [`DistContext::allreduce_params`] — global gradient all-reduce for
 //!   the replicated parameters.
 
-use crate::grid::Grid;
+use crate::grid::{Grid, GridError};
 use atgnn::plan::ExecPlan;
 use atgnn_net::Comm;
 use atgnn_sparse::{masked, Csr};
 use atgnn_tensor::{Dense, Scalar};
 use std::cell::Cell;
+
+/// Why a distributed context cannot be built.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistError {
+    /// The rank count cannot form a square process grid.
+    Grid(GridError),
+    /// The adjacency matrix is not square.
+    NonSquareAdjacency {
+        /// Adjacency row count.
+        rows: usize,
+        /// Adjacency column count.
+        cols: usize,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Grid(e) => write!(f, "{e}"),
+            DistError::NonSquareAdjacency { rows, cols } => {
+                write!(f, "adjacency must be square, got {rows}×{cols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Grid(e) => Some(e),
+            DistError::NonSquareAdjacency { .. } => None,
+        }
+    }
+}
+
+impl From<GridError> for DistError {
+    fn from(e: GridError) -> Self {
+        DistError::Grid(e)
+    }
+}
 
 /// The vertex permutation a reordering context applied globally before
 /// 2D partitioning (see [`DistContext::new_with_plan`]).
@@ -58,15 +98,23 @@ impl<'a, T: Scalar> DistContext<'a, T> {
     /// full adjacency matrix. Slicing is local preprocessing — the
     /// artifact generates graphs "in a distributed way in main memory at
     /// the beginning of the experiment" — and costs no communication.
-    pub fn new(comm: &'a Comm, a_full: &Csr<T>) -> Self {
-        assert_eq!(a_full.rows(), a_full.cols(), "adjacency must be square");
-        let grid = Grid::from_ranks(comm.size());
+    ///
+    /// Returns a typed [`DistError`] when the rank count is not a
+    /// perfect square or the adjacency is not square.
+    pub fn new(comm: &'a Comm, a_full: &Csr<T>) -> Result<Self, DistError> {
+        if a_full.rows() != a_full.cols() {
+            return Err(DistError::NonSquareAdjacency {
+                rows: a_full.rows(),
+                cols: a_full.cols(),
+            });
+        }
+        let grid = Grid::from_ranks(comm.size())?;
         let (i, j) = grid.coords(comm.rank());
         let n = a_full.rows();
         let (r0, r1) = grid.block_bounds(n, i);
         let (c0, c1) = grid.block_bounds(n, j);
         let a_block = a_full.block(r0, r1, c0, c1);
-        Self {
+        Ok(Self {
             comm,
             grid,
             i,
@@ -75,7 +123,7 @@ impl<'a, T: Scalar> DistContext<'a, T> {
             a_block,
             reorder: None,
             tag: Cell::new(1000),
-        }
+        })
     }
 
     /// Builds the context with the plan's locality reordering applied
@@ -91,16 +139,20 @@ impl<'a, T: Scalar> DistContext<'a, T> {
     /// [`DistContext::local_input`]) and receive outputs in permuted
     /// vertex order; [`DistContext::reorder`] exposes both directions of
     /// the permutation for mapping back.
-    pub fn new_with_plan(comm: &'a Comm, a_full: &Csr<T>, plan: &ExecPlan) -> Self {
+    pub fn new_with_plan(
+        comm: &'a Comm,
+        a_full: &Csr<T>,
+        plan: &ExecPlan,
+    ) -> Result<Self, DistError> {
         match plan.reorder_graph(a_full) {
             None => Self::new(comm, a_full),
             Some(r) => {
-                let mut ctx = Self::new(comm, &r.a);
+                let mut ctx = Self::new(comm, &r.a)?;
                 ctx.reorder = Some(DistReorder {
                     perm: r.perm,
                     inv: r.inv,
                 });
-                ctx
+                Ok(ctx)
             }
         }
     }
@@ -348,7 +400,7 @@ mod tests {
     fn blocks_tile_the_adjacency() {
         let a = full_graph(10);
         let (nnzs, _) = Cluster::run(4, |comm| {
-            let ctx = DistContext::new(&comm, &a);
+            let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
             ctx.a_block.nnz()
         });
         assert_eq!(nnzs.iter().sum::<usize>(), a.nnz());
@@ -359,7 +411,7 @@ mod tests {
         let a = full_graph(8);
         let h = Dense::from_fn(8, 2, |r, c| (r * 2 + c) as f64);
         let (results, stats) = Cluster::run(4, |comm| {
-            let ctx = DistContext::new(&comm, &a);
+            let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
             let (c0, c1) = ctx.col_range();
             let own = h.slice_rows(c0, c1 - c0);
             let row_side = ctx.bcast_row_side(&own);
@@ -379,7 +431,7 @@ mod tests {
         // rank's column block.
         let a = full_graph(9);
         let (results, _) = Cluster::run(9, |comm| {
-            let ctx = DistContext::new(&comm, &a);
+            let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
             let (r0, r1) = ctx.row_range();
             let partial = Dense::filled(r1 - r0, 2, 1.0f64);
             let out = ctx.reduce_rows_redistribute(partial);
@@ -408,7 +460,7 @@ mod tests {
             let scores = scores.clone();
             let a = a.clone();
             let (oks, _) = Cluster::run(p, move |comm| {
-                let ctx = DistContext::new(&comm, &a);
+                let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
                 let (r0, r1) = ctx.row_range();
                 let (c0, c1) = ctx.col_range();
                 let block = scores.block(r0, r1, c0, c1);
@@ -431,7 +483,7 @@ mod tests {
     fn allreduce_params_sums_everywhere() {
         let a = full_graph(6);
         let (results, _) = Cluster::run(4, |comm| {
-            let ctx = DistContext::new(&comm, &a);
+            let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
             ctx.allreduce_params(vec![comm.rank() as f64])
         });
         for r in results {
@@ -443,7 +495,7 @@ mod tests {
     fn allreduce_col_sums_column_team_partials() {
         let a = full_graph(8);
         let (results, _) = Cluster::run(4, |comm| {
-            let ctx = DistContext::new(&comm, &a);
+            let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
             let (c0, c1) = ctx.col_range();
             let partial = Dense::filled(c1 - c0, 1, (ctx.i + 1) as f64);
             ctx.allreduce_col(partial).as_slice()[0]

@@ -7,6 +7,29 @@
 //! always owns the feature block matching row range `b` — the root of the
 //! row-side broadcasts.
 
+/// Why a rank count cannot form a square grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridError {
+    /// Zero ranks cannot host a grid.
+    ZeroRanks,
+    /// The rank count is not a perfect square (the paper's experiments
+    /// use 1, 4, 16, 64, 256, … nodes).
+    NotSquare(usize),
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::ZeroRanks => write!(f, "a process grid needs at least one rank"),
+            GridError::NotSquare(p) => {
+                write!(f, "rank count {p} is not a perfect square")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
 /// A square process grid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Grid {
@@ -15,15 +38,17 @@ pub struct Grid {
 }
 
 impl Grid {
-    /// Builds the grid for `p` ranks.
-    ///
-    /// # Panics
-    /// Panics if `p` is not a perfect square (the paper's experiments use
-    /// 1, 4, 16, 64, 256, … nodes).
-    pub fn from_ranks(p: usize) -> Self {
+    /// Builds the grid for `p` ranks, or a typed [`GridError`] when `p`
+    /// is zero or not a perfect square.
+    pub fn from_ranks(p: usize) -> Result<Self, GridError> {
+        if p == 0 {
+            return Err(GridError::ZeroRanks);
+        }
         let q = (p as f64).sqrt().round() as usize;
-        assert_eq!(q * q, p, "rank count {p} is not a perfect square");
-        Self { q }
+        if q * q != p {
+            return Err(GridError::NotSquare(p));
+        }
+        Ok(Self { q })
     }
 
     /// Total rank count `p = q²`.
@@ -73,7 +98,7 @@ mod tests {
 
     #[test]
     fn coords_round_trip() {
-        let g = Grid::from_ranks(16);
+        let g = Grid::from_ranks(16).unwrap();
         assert_eq!(g.q, 4);
         for r in 0..16 {
             let (i, j) = g.coords(r);
@@ -83,14 +108,14 @@ mod tests {
 
     #[test]
     fn teams_are_rows_and_columns() {
-        let g = Grid::from_ranks(9);
+        let g = Grid::from_ranks(9).unwrap();
         assert_eq!(g.row_team(1), vec![3, 4, 5]);
         assert_eq!(g.col_team(2), vec![2, 5, 8]);
     }
 
     #[test]
     fn blocks_cover_and_balance() {
-        let g = Grid::from_ranks(9);
+        let g = Grid::from_ranks(9).unwrap();
         let n = 10; // deliberately not divisible by 3
         let mut covered = 0;
         for b in 0..3 {
@@ -104,14 +129,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a perfect square")]
     fn rejects_non_square_rank_counts() {
-        let _ = Grid::from_ranks(6);
+        assert_eq!(Grid::from_ranks(6), Err(GridError::NotSquare(6)));
+        assert_eq!(Grid::from_ranks(0), Err(GridError::ZeroRanks));
+        let msg = GridError::NotSquare(6).to_string();
+        assert!(msg.contains("not a perfect square"), "{msg}");
     }
 
     #[test]
     fn single_rank_grid() {
-        let g = Grid::from_ranks(1);
+        let g = Grid::from_ranks(1).unwrap();
         assert_eq!(g.block_bounds(100, 0), (0, 100));
         assert_eq!(g.row_team(0), vec![0]);
     }

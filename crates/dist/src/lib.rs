@@ -29,7 +29,9 @@ pub mod grid;
 pub mod layers;
 pub mod model;
 pub mod predictor;
+pub mod recovery;
 
-pub use context::DistContext;
-pub use grid::Grid;
+pub use context::{DistContext, DistError};
+pub use grid::{Grid, GridError};
 pub use model::{DistGnnModel, DistLayer};
+pub use recovery::{train_mse_with_recovery, RecoveryConfig, RecoveryReport};

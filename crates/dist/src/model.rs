@@ -13,6 +13,7 @@ use crate::layers::{
     backward_agnn, backward_gat, backward_gcn, backward_gin, backward_va, forward_agnn,
     forward_gat, forward_gcn, forward_gin, forward_va, DistCache, DistGrads,
 };
+use atgnn::checkpoint::{self, CheckpointError};
 use atgnn::layers::{AgnnLayer, GatLayer, GcnLayer, VaLayer};
 use atgnn::{ExecPlan, ModelKind};
 use atgnn_sparse::attention::AttentionExec;
@@ -185,6 +186,52 @@ impl<T: Scalar> DistLayer<T> {
                 .collect(),
         }
     }
+
+    /// The complete trainable state of this layer as checkpoint slots —
+    /// unlike [`DistLayer::param_slices_mut`], scalar parameters (`β`,
+    /// `ε`) are included, so a restore reproduces training exactly.
+    fn state_vecs(&self) -> Vec<Vec<f64>> {
+        let flat = |s: &[T]| s.iter().map(|v| v.to_f64()).collect::<Vec<f64>>();
+        match self {
+            DistLayer::Va { w } | DistLayer::Gcn { w } => vec![flat(w.as_slice())],
+            DistLayer::Agnn { w, beta } => vec![flat(w.as_slice()), vec![beta.to_f64()]],
+            DistLayer::Gat {
+                w, a_src, a_dst, ..
+            } => vec![flat(w.as_slice()), flat(a_src), flat(a_dst)],
+            DistLayer::Gin { w1, w2, eps } => {
+                vec![flat(w1.as_slice()), flat(w2.as_slice()), vec![eps.to_f64()]]
+            }
+            DistLayer::GatMultiHead { heads, .. } => heads
+                .iter()
+                .flat_map(|(w, a1, a2)| vec![flat(w.as_slice()), flat(a1), flat(a2)])
+                .collect(),
+        }
+    }
+
+    /// Mutable views over the same slots [`DistLayer::state_vecs`]
+    /// serializes, in the same order.
+    fn state_slices_mut(&mut self) -> Vec<&mut [T]> {
+        match self {
+            DistLayer::Va { w } | DistLayer::Gcn { w } => vec![w.as_mut_slice()],
+            DistLayer::Agnn { w, beta } => {
+                vec![w.as_mut_slice(), std::slice::from_mut(beta)]
+            }
+            DistLayer::Gat {
+                w, a_src, a_dst, ..
+            } => vec![w.as_mut_slice(), a_src.as_mut_slice(), a_dst.as_mut_slice()],
+            DistLayer::Gin { w1, w2, eps } => vec![
+                w1.as_mut_slice(),
+                w2.as_mut_slice(),
+                std::slice::from_mut(eps),
+            ],
+            DistLayer::GatMultiHead { heads, .. } => heads
+                .iter_mut()
+                .flat_map(|(w, a1, a2)| {
+                    vec![w.as_mut_slice(), a1.as_mut_slice(), a2.as_mut_slice()]
+                })
+                .collect(),
+        }
+    }
 }
 
 /// A distributed GNN: a stack of [`DistLayer`]s plus their activations.
@@ -255,6 +302,12 @@ impl<T: Scalar> DistGnnModel<T> {
     /// Number of layers.
     pub fn depth(&self) -> usize {
         self.layers.len()
+    }
+
+    /// In-crate access to the layer list (checkpoint/recovery tests).
+    #[cfg(test)]
+    pub(crate) fn layers_mut(&mut self) -> &mut Vec<(DistLayer<T>, Activation)> {
+        &mut self.layers
     }
 
     /// Distributed inference: the caller passes its column-side input
@@ -345,6 +398,40 @@ impl<T: Scalar> DistGnnModel<T> {
         total
     }
 
+    /// Writes a CRC-checked checkpoint of the *complete* replicated
+    /// parameter state (including scalar parameters like AGNN's `β`) to
+    /// `path`, tagged with the training `step` it belongs to. Parameters
+    /// are replicated, so one rank writing suffices; the write is atomic
+    /// (temp file + rename).
+    pub fn save_checkpoint(
+        &self,
+        step: u64,
+        path: &std::path::Path,
+    ) -> Result<(), CheckpointError> {
+        let layers: Vec<Vec<Vec<f64>>> = self
+            .layers
+            .iter()
+            .map(|(layer, _)| layer.state_vecs())
+            .collect();
+        checkpoint::save_raw(step, &layers, path)
+    }
+
+    /// Restores the complete parameter state from a checkpoint written by
+    /// [`DistGnnModel::save_checkpoint`] and returns the training step it
+    /// belongs to. Damaged files (truncated, checksum mismatch) and shape
+    /// mismatches are rejected with a typed error, leaving the model
+    /// unmodified in the damaged-file cases.
+    pub fn load_checkpoint(&mut self, path: &std::path::Path) -> Result<u64, CheckpointError> {
+        let raw = checkpoint::load_raw(path)?;
+        let params: Vec<Vec<&mut [T]>> = self
+            .layers
+            .iter_mut()
+            .map(|(layer, _)| layer.state_slices_mut())
+            .collect();
+        checkpoint::restore_slices(&raw, params)?;
+        Ok(raw.step)
+    }
+
     /// Applies plain SGD with the given (already reduced) gradients.
     pub fn apply_sgd(&mut self, grads: &[DistGrads<T>], lr: T) {
         assert_eq!(grads.len(), self.layers.len(), "gradient count mismatch");
@@ -417,7 +504,7 @@ mod tests {
                 let x = x.clone();
                 let seq = seq.clone();
                 let (errs, _) = Cluster::run(p, move |comm| {
-                    let ctx = DistContext::new(&comm, &a);
+                    let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
                     let model = DistGnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Relu, 7);
                     let (c0, c1) = ctx.col_range();
                     let out = model.inference(&ctx, &x.slice_rows(c0, c1 - c0));
@@ -448,7 +535,8 @@ mod tests {
                 let x = x.clone();
                 let seq = seq.clone();
                 let (errs, _) = Cluster::run(p, move |comm| {
-                    let ctx = DistContext::new_with_plan(&comm, &a, &plan);
+                    let ctx = DistContext::new_with_plan(&comm, &a, &plan)
+                        .expect("square grid and adjacency");
                     let model = DistGnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Relu, 7);
                     let out = model.inference(&ctx, &ctx.local_input(&x));
                     // Rows [c0, c1) of the permuted output correspond to
@@ -483,7 +571,7 @@ mod tests {
                 let target = target.clone();
                 let seq_grads = seq_grads.clone();
                 let (errs, _) = Cluster::run(p, move |comm| {
-                    let ctx = DistContext::new(&comm, &a);
+                    let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
                     let model =
                         DistGnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Tanh, 17);
                     let (c0, c1) = ctx.col_range();
@@ -529,7 +617,7 @@ mod tests {
         let seq_out = seq_model.inference(&a, &x);
         // Distributed.
         let (results, _) = Cluster::run(4, move |comm| {
-            let ctx = DistContext::new(&comm, &a);
+            let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
             let mut model = DistGnnModel::<f64>::uniform(kind, &[3, 3, 2], Activation::Tanh, 29);
             let (c0, c1) = ctx.col_range();
             let x_j = x.slice_rows(c0, c1 - c0);
@@ -570,7 +658,7 @@ mod tests {
         let (w1, w2) = (seq_layer.weights().0.clone(), seq_layer.weights().1.clone());
         let eps = seq_layer.eps();
         let (results, _) = Cluster::run(4, move |comm| {
-            let ctx = DistContext::new(&comm, &a);
+            let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
             let model = DistGnnModel::<f64> {
                 layers: vec![(
                     DistLayer::Gin {
@@ -628,7 +716,7 @@ mod tests {
             })
             .collect();
         let (results, _) = Cluster::run(4, move |comm| {
-            let ctx = DistContext::new(&comm, &a);
+            let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
             let model = DistGnnModel::<f64> {
                 layers: vec![(
                     DistLayer::GatMultiHead {
@@ -672,7 +760,7 @@ mod tests {
             let a = a.clone();
             let x = x.clone();
             let (_, stats) = Cluster::run(p, move |comm| {
-                let ctx = DistContext::new(&comm, &a);
+                let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
                 let model =
                     DistGnnModel::<f64>::uniform(ModelKind::Va, &[k, k, k], Activation::Relu, 5);
                 let (c0, c1) = ctx.col_range();

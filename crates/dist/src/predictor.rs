@@ -172,7 +172,7 @@ mod tests {
         let target = init::features::<f64>(n, k, 5);
         let dims = vec![k; layers + 1];
         let (_, stats) = Cluster::run(p, move |comm| {
-            let ctx = DistContext::new(&comm, &a);
+            let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
             let mut model = DistGnnModel::<f64>::uniform(kind, &dims, Activation::Relu, 7);
             let (c0, c1) = ctx.col_range();
             let x_j = x.slice_rows(c0, c1 - c0);

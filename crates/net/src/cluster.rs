@@ -1,10 +1,52 @@
 //! The cluster driver: spawn ranks, run an SPMD closure, collect results
 //! and communication statistics.
+//!
+//! Execution is *supervised*: each rank runs under a panic catcher, and
+//! the first failure raises a run-wide abort flag that wakes every rank
+//! blocked in a barrier or a deadline-bounded `recv`. A crashed or hung
+//! rank therefore surfaces as a typed [`RankFailure`] instead of
+//! deadlocking the whole cluster.
 
-use crate::comm::{Comm, Msg};
+use crate::comm::{AbortableBarrier, Comm, Frame, RunShared};
+use crate::fault::FaultPlan;
 use crate::stats::{CommStats, Counters};
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::channel;
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Mutex};
+
+/// A rank of the cluster panicked (its own bug, an injected crash/hang,
+/// or a communication timeout). Carries the first-failing rank, its panic
+/// message, and the statistics accumulated up to the failure.
+#[derive(Debug, Clone)]
+pub struct RankFailure {
+    /// The first rank that failed (cascading aborts on surviving ranks
+    /// are not reported).
+    pub rank: usize,
+    /// The panic message of the failing rank.
+    pub message: String,
+    /// Communication statistics accumulated up to the failure.
+    pub stats: CommStats,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} failed: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("rank panicked (non-string payload)")
+    }
+}
+
+type PanicPayload = Box<dyn std::any::Any + Send>;
 
 /// A simulated cluster of `p` ranks.
 pub struct Cluster;
@@ -15,19 +57,65 @@ impl Cluster {
     /// statistics of the whole run.
     ///
     /// The closure must be deterministic SPMD code: every `recv` must have
-    /// a matching `send`. A rank panicking propagates the panic to the
-    /// caller.
+    /// a matching `send`. Fault injection is taken from the `ATGNN_FAULTS`
+    /// environment variable ([`FaultPlan::from_env`]); a rank failing
+    /// propagates the original panic to the caller. Use
+    /// [`Cluster::run_supervised`] for a typed failure instead.
     pub fn run<R, F>(p: usize, f: F) -> (Vec<R>, CommStats)
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        match Self::run_inner(p, &FaultPlan::from_env(), f) {
+            Ok(ok) => ok,
+            Err((_, payload, _)) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Runs `f(comm)` on `p` ranks under `plan`'s fault injection, and
+    /// returns a typed [`RankFailure`] (instead of panicking) when a rank
+    /// fails. Surviving ranks are fenced through the run-wide abort flag,
+    /// so a failure never deadlocks the cluster.
+    // The Err variant carries the failed run's full CommStats; failures
+    // are cold and diagnostic-bound, so the size is irrelevant.
+    #[allow(clippy::result_large_err)]
+    pub fn run_supervised<R, F>(
+        p: usize,
+        plan: &FaultPlan,
+        f: F,
+    ) -> Result<(Vec<R>, CommStats), RankFailure>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        Self::run_inner(p, plan, f).map_err(|(rank, payload, stats)| RankFailure {
+            rank,
+            message: panic_message(payload.as_ref()),
+            stats,
+        })
+    }
+
+    #[allow(clippy::result_large_err)]
+    fn run_inner<R, F>(
+        p: usize,
+        plan: &FaultPlan,
+        f: F,
+    ) -> Result<(Vec<R>, CommStats), (usize, PanicPayload, CommStats)>
     where
         R: Send,
         F: Fn(Comm) -> R + Send + Sync,
     {
         assert!(p >= 1, "a cluster needs at least one rank");
         let counters = Arc::new(Counters::new(p));
-        let barrier = Arc::new(Barrier::new(p));
+        let barrier = Arc::new(AbortableBarrier::new(p));
+        let shared = Arc::new(RunShared::new(plan));
+        // First failure wins; cascading aborts (which can only start
+        // after the abort flag is up, i.e. after the root cause is
+        // recorded) never overwrite it.
+        let failure: Mutex<Option<(usize, PanicPayload)>> = Mutex::new(None);
         // One channel per (src, dst) pair; receivers handed to dst.
-        let mut senders: Vec<Vec<std::sync::mpsc::Sender<Msg>>> = Vec::with_capacity(p);
-        let mut receivers_by_dst: Vec<Vec<Option<std::sync::mpsc::Receiver<Msg>>>> =
+        let mut senders: Vec<Vec<std::sync::mpsc::Sender<Frame>>> = Vec::with_capacity(p);
+        let mut receivers_by_dst: Vec<Vec<Option<std::sync::mpsc::Receiver<Frame>>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         for src in 0..p {
             let mut row = Vec::with_capacity(p);
@@ -41,9 +129,8 @@ impl Cluster {
         }
         let senders = Arc::new(senders);
 
-        let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..p).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
             for (rank, receivers) in receivers_by_dst.into_iter().enumerate() {
                 let comm = Comm::new(
                     rank,
@@ -52,27 +139,61 @@ impl Cluster {
                     receivers.into_iter().map(|r| r.unwrap()).collect(),
                     Arc::clone(&barrier),
                     Arc::clone(&counters),
+                    Arc::clone(&shared),
                 );
                 let f = &f;
-                handles.push(scope.spawn(move || f(comm)));
-            }
-            for (rank, handle) in handles.into_iter().enumerate() {
-                match handle.join() {
-                    Ok(r) => results[rank] = Some(r),
-                    Err(e) => std::panic::resume_unwind(e),
-                }
+                let shared = &shared;
+                let failure = &failure;
+                let results = &results;
+                scope.spawn(move || {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| f(comm))) {
+                        Ok(r) => {
+                            *results[rank]
+                                .lock()
+                                .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(r);
+                        }
+                        Err(payload) => {
+                            {
+                                let mut slot = failure
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                                if slot.is_none() {
+                                    *slot = Some((rank, payload));
+                                }
+                            }
+                            // Fence the survivors: wake barriers and
+                            // deadline-bounded receives.
+                            shared
+                                .abort
+                                .store(true, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
             }
         });
-        (
-            results.into_iter().map(|r| r.unwrap()).collect(),
-            counters.snapshot(),
-        )
+        let stats = counters.snapshot();
+        if let Some((rank, payload)) = failure
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        {
+            return Err((rank, payload, stats));
+        }
+        let results = results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .expect("rank finished without result or failure")
+            })
+            .collect();
+        Ok((results, stats))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     #[test]
     fn single_rank_runs() {
@@ -339,5 +460,218 @@ mod tests {
             let _: Vec<u8> = comm.recv(0, 1);
         });
         assert_eq!(stats.total_bytes(), 0);
+    }
+
+    // ---------------- supervised execution & fault injection ----------
+
+    /// A plan with tight timeouts so failure tests stay fast.
+    fn fast_plan() -> FaultPlan {
+        FaultPlan::seeded(7).with_timeout_ms(2_000).with_retries(4)
+    }
+
+    #[test]
+    fn supervised_clean_run_matches_unsupervised() {
+        let run = |comm: Comm| {
+            let members: Vec<usize> = (0..comm.size()).collect();
+            comm.allreduce_group(&members, vec![comm.rank() as f64], 3, |mut a, b| {
+                a[0] += b[0];
+                a
+            })
+        };
+        let (r0, s0) = Cluster::run(4, run);
+        let (r1, s1) =
+            Cluster::run_supervised(4, &FaultPlan::none(), run).expect("clean run succeeds");
+        assert_eq!(r0, r1);
+        assert_eq!(s0.total_bytes(), s1.total_bytes());
+        assert_eq!(s0.max_supersteps(), s1.max_supersteps());
+        assert_eq!(s1.total_fault_events(), 0);
+    }
+
+    #[test]
+    fn supervised_run_reports_first_failing_rank() {
+        let plan = fast_plan();
+        let err = Cluster::run_supervised(4, &plan, |comm| {
+            comm.barrier();
+            if comm.rank() == 2 {
+                panic!("boom at rank 2");
+            }
+            // Survivors block on a barrier the dead rank never reaches —
+            // the abort flag must wake them.
+            comm.barrier();
+            comm.rank()
+        })
+        .expect_err("rank 2 must fail");
+        assert_eq!(err.rank, 2);
+        assert!(err.message.contains("boom at rank 2"), "{}", err.message);
+    }
+
+    #[test]
+    fn injected_crash_surfaces_as_rank_failure() {
+        let plan = fast_plan().with_crash(1, 3);
+        let err = Cluster::run_supervised(4, &plan, |comm| {
+            for _ in 0..10 {
+                comm.barrier();
+            }
+        })
+        .expect_err("rank 1 must crash");
+        assert_eq!(err.rank, 1);
+        assert!(err.message.contains("injected fault"), "{}", err.message);
+        assert!(err.message.contains("crash"), "{}", err.message);
+    }
+
+    #[test]
+    fn injected_hang_is_fenced_by_peer_timeouts() {
+        // Rank 0 hangs at superstep 2; rank 1's deadline-bounded recv
+        // times out, which aborts the run and wakes the hung rank.
+        let plan = FaultPlan::seeded(3)
+            .with_hang(0, 2)
+            .with_timeout_ms(300)
+            .with_retries(2);
+        let start = std::time::Instant::now();
+        let err = Cluster::run_supervised(2, &plan, |comm| {
+            comm.barrier(); // superstep 1
+            comm.barrier(); // superstep 2 — rank 0 hangs here
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![1u8; 8]);
+            } else {
+                let _: Vec<u8> = comm.recv(0, 1);
+            }
+        })
+        .expect_err("the hang must be detected");
+        assert!(
+            err.message.contains("hang") || err.message.contains("timeout"),
+            "{}",
+            err.message
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "hang detection took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn recv_timeout_names_the_awaited_rank() {
+        let plan = FaultPlan::seeded(1).with_timeout_ms(200).with_retries(1);
+        let err = Cluster::run_supervised(2, &plan, |comm| {
+            if comm.rank() == 1 {
+                // Rank 0 never sends: this recv must hit its deadline.
+                let _: Vec<u8> = comm.recv(0, 9);
+            }
+        })
+        .expect_err("recv must time out");
+        assert_eq!(err.rank, 1);
+        assert!(err.message.contains("recv timeout"), "{}", err.message);
+    }
+
+    #[test]
+    fn collectives_survive_message_faults_bit_identically() {
+        // All four message-fault classes at aggressive rates: every
+        // collective must heal and produce exactly the clean result.
+        let clean = |comm: Comm| {
+            let members: Vec<usize> = (0..comm.size()).collect();
+            let sum =
+                comm.allreduce_group(&members, vec![comm.rank() as f64 + 0.25], 3, |mut a, b| {
+                    a[0] += b[0];
+                    a
+                });
+            let bc = comm.broadcast_group(
+                &members,
+                1,
+                (comm.rank() == 1).then(|| vec![0.5f64, 1.5]),
+                5,
+            );
+            let gathered = comm.allgather_group(&members, vec![comm.rank() as u32], 7);
+            let vec_sum =
+                comm.allreduce_vec_group(&members, vec![comm.rank() as f64; 13], 9, |a, b| a + b);
+            let exchanged = comm.alltoall_group(
+                &members,
+                (0..comm.size()).map(|d| vec![d as u64]).collect(),
+                11,
+            );
+            (sum, bc, gathered, vec_sum, exchanged)
+        };
+        let (clean_results, clean_stats) = Cluster::run(4, clean);
+        let plan = FaultPlan::seeded(42)
+            .with_drop(0.15)
+            .with_delay(0.15, 200)
+            .with_dup(0.15)
+            .with_corrupt(0.15)
+            .with_timeout_ms(5_000)
+            .with_retries(8);
+        let (faulty_results, faulty_stats) =
+            Cluster::run_supervised(4, &plan, clean).expect("faults must heal");
+        assert_eq!(clean_results, faulty_results);
+        let totals = faulty_stats.fault_totals();
+        assert!(totals.total() > 0, "plan should have injected something");
+        assert!(
+            totals.drops_injected > 0 && totals.corruptions_injected > 0,
+            "aggressive rates should hit every class: {totals:?}"
+        );
+        // Every corruption the receiver inspects is caught; a frame can
+        // also be healed pre-emptively through the retransmit path if it
+        // arrives during a backoff check, so detected ≤ injected.
+        assert!(
+            totals.corruptions_detected > 0
+                && totals.corruptions_detected <= totals.corruptions_injected,
+            "checksum verification must catch corruption: {totals:?}"
+        );
+        // Healing costs extra transmitted bytes but the superstep
+        // structure of the algorithm is unchanged.
+        assert_eq!(clean_stats.max_supersteps(), faulty_stats.max_supersteps());
+        assert!(faulty_stats.total_bytes() >= clean_stats.total_bytes());
+    }
+
+    #[test]
+    fn faulty_point_to_point_heals_every_message() {
+        // A longer conversation so dedup/stash/resend all get exercised.
+        let plan = FaultPlan::seeded(11)
+            .with_drop(0.25)
+            .with_dup(0.25)
+            .with_corrupt(0.2)
+            .with_timeout_ms(5_000)
+            .with_retries(8);
+        let rounds = 40usize;
+        let (results, stats) = Cluster::run_supervised(2, &plan, |comm| {
+            let peer = 1 - comm.rank();
+            let mut acc = 0u64;
+            for i in 0..rounds {
+                comm.send(peer, i as u32, vec![(comm.rank() * 1000 + i) as u64]);
+                let got: Vec<u64> = comm.recv(peer, i as u32);
+                acc += got[0];
+            }
+            acc
+        })
+        .expect("all messages must heal");
+        let expect_from =
+            |sender: usize| -> u64 { (0..rounds).map(|i| (sender * 1000 + i) as u64).sum() };
+        assert_eq!(results, vec![expect_from(1), expect_from(0)]);
+        assert!(stats.fault_totals().drops_injected > 0);
+        assert!(stats.fault_totals().resends > 0, "drops require resends");
+        assert!(stats.fault_totals().dups_discarded > 0);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_across_runs() {
+        let plan = FaultPlan::seeded(9)
+            .with_drop(0.2)
+            .with_dup(0.2)
+            .with_timeout_ms(5_000)
+            .with_retries(8);
+        let run = |comm: Comm| {
+            let members: Vec<usize> = (0..comm.size()).collect();
+            comm.allreduce_vec_group(&members, vec![comm.rank() as f64; 7], 3, |a, b| a + b)
+        };
+        let (r0, s0) = Cluster::run_supervised(4, &plan, run).expect("run 0");
+        let (r1, s1) = Cluster::run_supervised(4, &plan, run).expect("run 1");
+        assert_eq!(r0, r1);
+        // Injection decisions depend only on (seed, src, dst, seq), so
+        // the injected-fault counts replay exactly. (Receiver-side
+        // counts like retry_waits depend on thread timing.)
+        let (t0, t1) = (s0.fault_totals(), s1.fault_totals());
+        assert_eq!(t0.drops_injected, t1.drops_injected);
+        assert_eq!(t0.dups_injected, t1.dups_injected);
+        assert_eq!(t0.corruptions_injected, t1.corruptions_injected);
+        assert_eq!(t0.delays_injected, t1.delays_injected);
     }
 }

@@ -18,15 +18,22 @@
 //! * [`stats`] — byte/message/superstep counters and per-phase breakdown.
 //! * [`model`] — the α–β–γ machine cost model projecting measured volume
 //!   and supersteps onto a Piz-Daint-like interconnect.
+//! * [`fault`] — seeded deterministic fault injection ([`FaultPlan`]):
+//!   message drop/delay/duplication/corruption at the wire boundary plus
+//!   rank crash/hang at a superstep; the communicator heals message
+//!   faults transparently and [`Cluster::run_supervised`] turns rank
+//!   failures into a typed [`RankFailure`] instead of a deadlock.
 
 pub mod cluster;
 pub mod comm;
+pub mod fault;
 pub mod model;
 pub mod stats;
 pub mod wire;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, RankFailure};
 pub use comm::Comm;
+pub use fault::{FaultPlan, RankFault};
 pub use model::MachineModel;
-pub use stats::CommStats;
+pub use stats::{CommStats, FaultEvents};
 pub use wire::Wire;

@@ -10,12 +10,95 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// One fault/retry/recovery event observed at the wire boundary, for the
+/// per-phase accounting in [`FaultEvents`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The injector dropped an outgoing frame.
+    DropInjected,
+    /// The injector delayed an outgoing frame.
+    DelayInjected,
+    /// The injector duplicated an outgoing frame.
+    DupInjected,
+    /// The injector corrupted an outgoing frame.
+    CorruptInjected,
+    /// The receiver discarded an already-seen sequence number.
+    DupDiscarded,
+    /// The receiver's checksum verification rejected a frame.
+    CorruptDetected,
+    /// The receiver recovered a frame through the retransmit path.
+    Resend,
+    /// The receiver waited one bounded backoff interval without the
+    /// expected frame becoming available.
+    RetryWait,
+}
+
+/// Per-phase fault/retry/recovery counts — all zero on a fault-free run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultEvents {
+    /// Frames dropped by the injector.
+    pub drops_injected: u64,
+    /// Frames delayed by the injector.
+    pub delays_injected: u64,
+    /// Frames duplicated by the injector.
+    pub dups_injected: u64,
+    /// Frames corrupted by the injector.
+    pub corruptions_injected: u64,
+    /// Duplicate frames discarded by sequence-number dedup.
+    pub dups_discarded: u64,
+    /// Frames rejected by checksum verification.
+    pub corruptions_detected: u64,
+    /// Frames recovered through retransmission.
+    pub resends: u64,
+    /// Bounded backoff intervals spent waiting for a missing frame.
+    pub retry_waits: u64,
+}
+
+impl FaultEvents {
+    fn record(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::DropInjected => self.drops_injected += 1,
+            FaultEvent::DelayInjected => self.delays_injected += 1,
+            FaultEvent::DupInjected => self.dups_injected += 1,
+            FaultEvent::CorruptInjected => self.corruptions_injected += 1,
+            FaultEvent::DupDiscarded => self.dups_discarded += 1,
+            FaultEvent::CorruptDetected => self.corruptions_detected += 1,
+            FaultEvent::Resend => self.resends += 1,
+            FaultEvent::RetryWait => self.retry_waits += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &FaultEvents) {
+        self.drops_injected += other.drops_injected;
+        self.delays_injected += other.delays_injected;
+        self.dups_injected += other.dups_injected;
+        self.corruptions_injected += other.corruptions_injected;
+        self.dups_discarded += other.dups_discarded;
+        self.corruptions_detected += other.corruptions_detected;
+        self.resends += other.resends;
+        self.retry_waits += other.retry_waits;
+    }
+
+    /// Total events of any kind.
+    pub fn total(&self) -> u64 {
+        self.drops_injected
+            + self.delays_injected
+            + self.dups_injected
+            + self.corruptions_injected
+            + self.dups_discarded
+            + self.corruptions_detected
+            + self.resends
+            + self.retry_waits
+    }
+}
+
 /// Shared, concurrently-updated counters (one slot per rank).
 pub(crate) struct Counters {
     pub bytes: Vec<AtomicU64>,
     pub messages: Vec<AtomicU64>,
     pub supersteps: Vec<AtomicU64>,
     pub phase_bytes: Vec<Mutex<BTreeMap<String, u64>>>,
+    pub fault_events: Vec<Mutex<BTreeMap<String, FaultEvents>>>,
 }
 
 impl Counters {
@@ -25,6 +108,7 @@ impl Counters {
             messages: (0..p).map(|_| AtomicU64::new(0)).collect(),
             supersteps: (0..p).map(|_| AtomicU64::new(0)).collect(),
             phase_bytes: (0..p).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            fault_events: (0..p).map(|_| Mutex::new(BTreeMap::new())).collect(),
         }
     }
 
@@ -35,6 +119,13 @@ impl Counters {
             .lock()
             .expect("phase-bytes mutex poisoned");
         *map.entry(phase.to_string()).or_insert(0) += bytes as u64;
+    }
+
+    pub fn record_fault(&self, rank: usize, phase: &str, event: FaultEvent) {
+        let mut map = self.fault_events[rank]
+            .lock()
+            .expect("fault-events mutex poisoned");
+        map.entry(phase.to_string()).or_default().record(event);
     }
 
     pub fn record_steps(&self, rank: usize, steps: u64) {
@@ -64,12 +155,19 @@ impl Counters {
                 *phases.entry(k.clone()).or_insert(0) += v;
             }
         }
+        let mut faults: BTreeMap<String, FaultEvents> = BTreeMap::new();
+        for slot in &self.fault_events {
+            for (k, v) in slot.lock().expect("fault-events mutex poisoned").iter() {
+                faults.entry(k.clone()).or_default().merge(v);
+            }
+        }
         CommStats {
             ranks: p,
             per_rank_bytes,
             per_rank_messages,
             per_rank_supersteps,
             phase_bytes: phases,
+            fault_events: faults,
         }
     }
 }
@@ -87,6 +185,9 @@ pub struct CommStats {
     pub per_rank_supersteps: Vec<u64>,
     /// Total bytes sent, per phase label (summed over ranks).
     pub phase_bytes: BTreeMap<String, u64>,
+    /// Fault/retry/recovery events, per phase label (summed over ranks);
+    /// empty on a fault-free run.
+    pub fault_events: BTreeMap<String, FaultEvents>,
 }
 
 impl CommStats {
@@ -113,6 +214,27 @@ impl CommStats {
     /// Bytes attributed to one phase across all ranks.
     pub fn phase_total(&self, phase: &str) -> u64 {
         self.phase_bytes.get(phase).copied().unwrap_or(0)
+    }
+
+    /// Fault events of one phase (all-zero struct when the phase saw
+    /// none).
+    pub fn fault_phase(&self, phase: &str) -> FaultEvents {
+        self.fault_events.get(phase).copied().unwrap_or_default()
+    }
+
+    /// Fault events aggregated over every phase.
+    pub fn fault_totals(&self) -> FaultEvents {
+        let mut total = FaultEvents::default();
+        for v in self.fault_events.values() {
+            total.merge(v);
+        }
+        total
+    }
+
+    /// Total fault/retry/recovery events of any kind — the headline
+    /// "was this run disturbed at all" number; zero on the clean path.
+    pub fn total_fault_events(&self) -> u64 {
+        self.fault_totals().total()
     }
 }
 
@@ -150,5 +272,22 @@ mod tests {
         assert_eq!(s.phase_total("fwd"), 110);
         assert_eq!(s.phase_total("bwd"), 50);
         assert_eq!(s.phase_total("missing"), 0);
+        assert_eq!(s.total_fault_events(), 0);
+    }
+
+    #[test]
+    fn fault_events_aggregate_per_phase() {
+        let c = Counters::new(2);
+        c.record_fault(0, "fwd", FaultEvent::DropInjected);
+        c.record_fault(0, "fwd", FaultEvent::Resend);
+        c.record_fault(1, "fwd", FaultEvent::DropInjected);
+        c.record_fault(1, "bwd", FaultEvent::DupDiscarded);
+        let s = c.snapshot();
+        assert_eq!(s.fault_phase("fwd").drops_injected, 2);
+        assert_eq!(s.fault_phase("fwd").resends, 1);
+        assert_eq!(s.fault_phase("bwd").dups_discarded, 1);
+        assert_eq!(s.fault_phase("missing"), FaultEvents::default());
+        assert_eq!(s.fault_totals().total(), 4);
+        assert_eq!(s.total_fault_events(), 4);
     }
 }

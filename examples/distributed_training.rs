@@ -35,7 +35,7 @@ fn main() {
     let (losses, gstats) = {
         let (a, x, target) = (a.clone(), x.clone(), target.clone());
         Cluster::run(p, move |comm| {
-            let ctx = DistContext::new(&comm, &a);
+            let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
             let mut model =
                 DistGnnModel::<f32>::uniform(ModelKind::Gat, &[k, k, k], Activation::Elu, 7);
             let (c0, c1) = ctx.col_range();

@@ -61,7 +61,7 @@ fn three_engines_compute_the_same_function() {
         let (g_err, _) = {
             let (prepared, x, seq) = (prepared.clone(), x.clone(), seq.clone());
             Cluster::run(4, move |comm| {
-                let ctx = DistContext::new(&comm, &prepared);
+                let ctx = DistContext::new(&comm, &prepared).expect("square grid and adjacency");
                 let model = DistGnnModel::<f64>::uniform(kind, &[5, 6, 3], Activation::Tanh, 15);
                 let (c0, c1) = ctx.col_range();
                 let out = model.inference(&ctx, &x.slice_rows(c0, c1 - c0));
@@ -109,7 +109,7 @@ fn distributed_training_converges_like_sequential() {
         let (dist_losses, _) = {
             let (prepared, x, target) = (prepared.clone(), x.clone(), target.clone());
             Cluster::run(4, move |comm| {
-                let ctx = DistContext::new(&comm, &prepared);
+                let ctx = DistContext::new(&comm, &prepared).expect("square grid and adjacency");
                 let mut model =
                     DistGnnModel::<f64>::uniform(kind, &[4, 4, 4], Activation::Tanh, 23);
                 let (c0, c1) = ctx.col_range();
@@ -178,7 +178,7 @@ fn communication_phases_are_labeled() {
     let x = init::features::<f32>(64, 4, 39);
     let target = init::features::<f32>(64, 4, 41);
     let (_, stats) = Cluster::run(4, move |comm| {
-        let ctx = DistContext::new(&comm, &a);
+        let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
         let mut model = DistGnnModel::<f32>::uniform(ModelKind::Gat, &[4, 4], Activation::Relu, 43);
         let (c0, c1) = ctx.col_range();
         model.train_step_mse(
@@ -265,7 +265,7 @@ fn gradient_allreduce_keeps_replicas_identical() {
     let x = init::features::<f64>(n, 4, 71);
     let target = init::features::<f64>(n, 4, 73);
     let (outs, _) = Cluster::run(4, move |comm| {
-        let ctx = DistContext::new(&comm, &a);
+        let ctx = DistContext::new(&comm, &a).expect("square grid and adjacency");
         let mut model =
             DistGnnModel::<f64>::uniform(ModelKind::Agnn, &[4, 4], Activation::Tanh, 75);
         let (c0, c1) = ctx.col_range();

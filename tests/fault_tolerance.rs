@@ -1,0 +1,183 @@
+//! End-to-end fault-tolerance guarantees of the distributed engine.
+//!
+//! Three load-bearing properties, asserted on real GAT training:
+//!
+//! 1. **Bit-identical healing** — a seeded drop/delay/dup/corrupt plan
+//!    changes *when* frames arrive, never *what* arrives or in what
+//!    reduction order, so final training losses match the fault-free run
+//!    bit for bit, at every `ATGNN_THREADS` setting.
+//! 2. **Crash recovery** — an injected rank crash mid-epoch is caught by
+//!    the supervisor and the epoch respawns from the last CRC-checked
+//!    checkpoint, landing on the same final loss as a run that never
+//!    crashed.
+//! 3. **Bounded detection** — every fault leaves a trace in the stats
+//!    (drops force resends, corruption is detected by checksum), and
+//!    every test is deadline-bounded by the plan's recv timeout, so a
+//!    regression hangs for milliseconds, not forever.
+
+use atgnn::{GnnModel, ModelKind};
+use atgnn_dist::{train_mse_with_recovery, DistGnnModel, RecoveryConfig};
+use atgnn_graphgen::{erdos_renyi, kronecker};
+use atgnn_net::FaultPlan;
+use atgnn_sparse::Csr;
+use atgnn_tensor::{init, rt, Activation, Dense};
+use std::path::PathBuf;
+
+const P: usize = 4;
+const STEPS: u64 = 6;
+const K_IN: usize = 8;
+const K_OUT: usize = 4;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("atgnn_fault_tolerance");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// A bounded-deadline config: any lost liveness surfaces as a recv/barrier
+/// timeout panic within a few seconds instead of wedging the test run.
+fn fenced(plan: FaultPlan) -> FaultPlan {
+    plan.with_timeout_ms(10_000).with_retries(8)
+}
+
+fn inputs(a: &Csr<f64>) -> (Dense<f64>, Dense<f64>) {
+    let n = a.rows();
+    (init::features(n, K_IN, 11), init::features(n, K_OUT, 13))
+}
+
+fn train_losses(
+    a: &Csr<f64>,
+    plan: &FaultPlan,
+    ckpt: &str,
+) -> (Vec<u64>, atgnn_dist::RecoveryReport<f64>) {
+    let prepared = GnnModel::<f64>::prepare_adjacency(ModelKind::Gat, a);
+    let (x, target) = inputs(a);
+    let cfg = RecoveryConfig {
+        ckpt_every: 2,
+        ckpt_path: tmp(ckpt),
+        max_attempts: 3,
+    };
+    let report = train_mse_with_recovery(
+        P,
+        plan,
+        &cfg,
+        &prepared,
+        &x,
+        &target,
+        || DistGnnModel::<f64>::uniform(ModelKind::Gat, &[K_IN, 8, K_OUT], Activation::Tanh, 17),
+        STEPS,
+        0.02,
+        K_OUT,
+    )
+    .expect("training must survive the injected faults");
+    let bits = report.losses.iter().map(|l| l.to_bits()).collect();
+    (bits, report)
+}
+
+/// One test (not several) so the process-global `rt::set_threads` sweep
+/// cannot race with itself under the parallel test harness.
+#[test]
+fn faulty_training_is_bit_identical_to_fault_free_across_thread_counts() {
+    let graphs = [
+        ("erdos_renyi", erdos_renyi::adjacency::<f64>(96, 768, 23)),
+        ("kronecker", kronecker::adjacency::<f64>(128, 1024, 3)),
+    ];
+    let plan = fenced(
+        FaultPlan::seeded(0xFA_017)
+            .with_drop(0.08)
+            .with_delay(0.10, 200)
+            .with_dup(0.08)
+            .with_corrupt(0.08),
+    );
+    let max = rt::max_threads();
+    for (name, a) in &graphs {
+        let mut reference: Option<Vec<u64>> = None;
+        for threads in [1usize, 2, 8] {
+            rt::set_threads(threads);
+            let (clean, clean_report) = train_losses(
+                a,
+                &FaultPlan::none(),
+                &format!("clean_{name}_{threads}.ckpt"),
+            );
+            let (faulty, faulty_report) =
+                train_losses(a, &plan, &format!("faulty_{name}_{threads}.ckpt"));
+            assert_eq!(
+                faulty, clean,
+                "{name}: faulty losses diverged from fault-free at {threads} threads"
+            );
+            assert_eq!(
+                clean_report.stats.total_fault_events(),
+                0,
+                "{name}: a fault-free run must record zero fault events"
+            );
+            let events = faulty_report.stats.fault_totals();
+            assert!(
+                events.drops_injected > 0
+                    && events.dups_injected > 0
+                    && events.corruptions_injected > 0,
+                "{name}: the plan must actually have injected faults ({events:?})"
+            );
+            assert!(
+                events.resends > 0,
+                "{name}: dropped frames can only be healed by resends ({events:?})"
+            );
+            let bits = &faulty;
+            match &reference {
+                Some(r) => assert_eq!(
+                    bits, r,
+                    "{name}: losses changed between 1 and {threads} threads"
+                ),
+                None => reference = Some(bits.clone()),
+            }
+        }
+    }
+    rt::set_threads(max);
+}
+
+#[test]
+fn injected_crash_recovers_from_checkpoint_and_matches_no_crash_loss() {
+    let a = kronecker::adjacency::<f64>(128, 1024, 5);
+    let (clean, clean_report) = train_losses(&a, &FaultPlan::none(), "crash_clean.ckpt");
+    assert_eq!(clean_report.attempts, 1);
+
+    // Place the crash at ~2/3 of the clean run's supersteps: past the
+    // step-4 checkpoint (ckpt_every = 2), before the run finishes. The
+    // superstep count is deterministic, so this is a stable mid-epoch
+    // point, not a guess.
+    let crash_at = clean_report.stats.max_supersteps() * 2 / 3;
+    assert!(crash_at > 0, "clean run must take some supersteps");
+    let plan = fenced(FaultPlan::seeded(99).with_crash(1, crash_at));
+    let (faulty, report) = train_losses(&a, &plan, "crash_faulty.ckpt");
+
+    assert_eq!(report.recoveries, 1, "exactly one respawn");
+    assert_eq!(report.attempts, 2);
+    assert!(
+        report.first_step > 0,
+        "the respawn must resume from a checkpoint, not from scratch"
+    );
+    // The resumed attempt replays only steps first_step..STEPS; those
+    // must match the tail of the uninterrupted run bit for bit.
+    assert_eq!(
+        faulty,
+        clean[report.first_step as usize..],
+        "recovered training diverged from the no-crash run"
+    );
+}
+
+#[test]
+fn corruption_only_plan_is_healed_by_checksum_and_resend() {
+    let a = erdos_renyi::adjacency::<f64>(96, 768, 29);
+    let (clean, _) = train_losses(&a, &FaultPlan::none(), "corrupt_clean.ckpt");
+    let plan = fenced(FaultPlan::seeded(7).with_corrupt(0.25));
+    let (healed, report) = train_losses(&a, &plan, "corrupt_faulty.ckpt");
+    assert_eq!(healed, clean, "healed run must match the fault-free run");
+    let events = report.stats.fault_totals();
+    assert!(
+        events.corruptions_injected > 0,
+        "plan must have corrupted frames ({events:?})"
+    );
+    assert!(
+        events.corruptions_detected > 0 && events.resends > 0,
+        "corruption is healed by checksum detection + resend ({events:?})"
+    );
+}

@@ -247,7 +247,7 @@ fn distributed_inference_equals_sequential_on_random_graphs() {
             .inference(&prepared, &x);
         let p = q * q;
         let (errs, _) = Cluster::run(p, move |comm| {
-            let ctx = DistContext::new(&comm, &prepared);
+            let ctx = DistContext::new(&comm, &prepared).expect("square grid and adjacency");
             let model = DistGnnModel::<f64>::uniform(kind, &[3, 4, 2], Activation::Tanh, case);
             let (c0, c1) = ctx.col_range();
             let out = model.inference(&ctx, &x.slice_rows(c0, c1 - c0));
