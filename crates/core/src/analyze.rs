@@ -24,18 +24,51 @@
 //! 5. **Communication volume** — [`comm`] estimates the per-layer,
 //!    per-rank words a `Px×Py` processor grid moves and lints plans
 //!    whose estimate exceeds the paper's `O(nk/√p + k²)` global bound
-//!    ([`Rule::CommVolume`]).
+//!    ([`Rule::CommVolume`]); [`comm::best_grid`] is the one cost
+//!    function the distributed planner's grid choice also reads.
+//! 6. **Determinism** — [`determinism`] proves bit-identity of the
+//!    parallel schedule by checking a reduction-order invariance fact
+//!    (exported by the kernels themselves) for every reducing node, and
+//!    flags aggregations whose accumulation order is unspecified
+//!    ([`Rule::NondetReduction`]).
+//! 7. **FP-stability** — [`stability`] runs an interval + error-magnitude
+//!    abstract domain over the DAG and flags overflow-prone `exp` chains
+//!    missing the max-subtraction ([`Rule::SoftmaxOverflow`]),
+//!    catastrophic-cancellation sites ([`Rule::Cancellation`]) and
+//!    half-precision loss-scale hazards on backward DAGs
+//!    ([`Rule::LossScale`]).
+//! 8. **Alias / in-place legality** — [`alias`] extends the escape
+//!    analysis with consumer counts, proving which buffers may be reused
+//!    in place and which sandwiches run allocation-free; declared
+//!    in-place ops that violate the proof are errors
+//!    ([`Rule::AliasUnsafe`]).
+//! 9. **Precision safety** — [`precision`] derives a per-node narrowing
+//!    verdict (safe-bf16 / accumulate-f32 / keep-f32) from semiring and
+//!    stability facts and rejects storage annotations that contradict it
+//!    ([`Rule::UnsafeNarrowing`]).
 //!
-//! [`validate`] runs rules 1–4 over one DAG; [`validate_model`] runs
+//! A tenth family of rules lints *source code* rather than DAGs: the
+//! `atgnn-lint` binary (crates/lint) scans the workspace for hygiene
+//! violations (unwrap-in-kernels, raw-threads, staged-bypass,
+//! permute-layering, unbounded-recv) and reports them through the same
+//! [`Diagnostic`] stream, anchored by [`Span`]s instead of node ids.
+//!
+//! [`validate`] runs every DAG rule over one DAG; [`validate_model`] runs
 //! them over the canned forward+backward DAGs of a
-//! [`ModelKind`](crate::ModelKind), and [`debug_validate`] is the
+//! [`ModelKind`](crate::ModelKind), [`debug_validate`] is the
 //! `debug_assertions` hook wired into model construction here and in the
-//! distributed crate.
+//! distributed crate, and [`env_validate`] upgrades that hook in release
+//! builds when `ATGNN_ANALYZE` is set.
 
 use std::fmt;
 
 use crate::dag::{Dag, Dim, Node, Shape, TensorClass};
 use crate::model::ModelKind;
+
+pub mod alias;
+pub mod determinism;
+pub mod precision;
+pub mod stability;
 
 /// How severe a diagnostic is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,6 +97,38 @@ pub enum Rule {
     /// (sampler → softmax → aggregation) that the one-pass fused sweep
     /// would keep virtual.
     StagedSandwich,
+    /// Rule 7: a reducing node's floating-point accumulation order is
+    /// unspecified, so results could vary with thread count or tile
+    /// size.
+    NondetReduction,
+    /// Rule 8: an `exp` is applied to values that can exceed the
+    /// floating-point overflow threshold — a softmax without the row-max
+    /// subtraction.
+    SoftmaxOverflow,
+    /// Rule 9: a subtraction of two large, overlapping operands —
+    /// catastrophic cancellation can leave the result with no correct
+    /// digits.
+    Cancellation,
+    /// Rule 10: a backward-DAG value's magnitude bound exceeds the f16
+    /// range — half-precision training would need loss scaling.
+    LossScale,
+    /// Rule 11: an op declared in-place (`*_inplace`) mutates a buffer
+    /// the alias analysis cannot prove dead.
+    AliasUnsafe,
+    /// Rule 12: a storage annotation narrows a node the precision
+    /// analysis says must stay at full precision.
+    UnsafeNarrowing,
+    /// Source lint: `.unwrap()` in kernel-crate non-test code.
+    UnwrapInKernels,
+    /// Source lint: raw `thread::spawn`/`scope` outside the rt pool.
+    RawThreads,
+    /// Source lint: layer code calling staged attention kernels directly
+    /// instead of routing through `ExecPlan`.
+    StagedBypass,
+    /// Source lint: `Csr::permute` called outside the plan layer.
+    PermuteLayering,
+    /// Source lint: the legacy unbounded recv in distributed code.
+    UnboundedRecv,
 }
 
 impl Rule {
@@ -76,8 +141,54 @@ impl Rule {
             Rule::SemiringBackward => "semiring-backward",
             Rule::CommVolume => "comm-volume",
             Rule::StagedSandwich => "staged-sandwich",
+            Rule::NondetReduction => "nondet-reduction",
+            Rule::SoftmaxOverflow => "softmax-overflow",
+            Rule::Cancellation => "cancellation",
+            Rule::LossScale => "loss-scale",
+            Rule::AliasUnsafe => "alias-unsafe",
+            Rule::UnsafeNarrowing => "unsafe-narrowing",
+            Rule::UnwrapInKernels => "unwrap-in-kernels",
+            Rule::RawThreads => "raw-threads",
+            Rule::StagedBypass => "staged-bypass",
+            Rule::PermuteLayering => "permute-layering",
+            Rule::UnboundedRecv => "unbounded-recv",
         }
     }
+
+    /// Parses a kebab-case rule name (the inverse of [`Rule::name`]);
+    /// used by `atgnn-lint`'s `allow(...)` annotations.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        const ALL: [Rule; 17] = [
+            Rule::ShapeMismatch,
+            Rule::UnfusedVirtual,
+            Rule::IllegalFusion,
+            Rule::SemiringBackward,
+            Rule::CommVolume,
+            Rule::StagedSandwich,
+            Rule::NondetReduction,
+            Rule::SoftmaxOverflow,
+            Rule::Cancellation,
+            Rule::LossScale,
+            Rule::AliasUnsafe,
+            Rule::UnsafeNarrowing,
+            Rule::UnwrapInKernels,
+            Rule::RawThreads,
+            Rule::StagedBypass,
+            Rule::PermuteLayering,
+            Rule::UnboundedRecv,
+        ];
+        ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+/// A source location, for diagnostics produced by the source-scanning
+/// lints rather than a DAG walk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
 }
 
 /// One finding of the static analyzer.
@@ -89,26 +200,43 @@ pub struct Diagnostic {
     pub severity: Severity,
     /// The offending node, when the finding is attributable to one.
     pub node: Option<usize>,
+    /// The offending source location, for source-scanning lints.
+    pub span: Option<Span>,
     /// Human-readable explanation.
-    pub message: String,
+    pub explanation: String,
 }
 
 impl Diagnostic {
-    fn error(rule: Rule, node: Option<usize>, message: String) -> Self {
+    /// An error attributed to a DAG node (or to the whole plan).
+    pub fn error(rule: Rule, node: Option<usize>, explanation: String) -> Self {
         Self {
             rule,
             severity: Severity::Error,
             node,
-            message,
+            span: None,
+            explanation,
         }
     }
 
-    fn warning(rule: Rule, node: Option<usize>, message: String) -> Self {
+    /// A warning attributed to a DAG node (or to the whole plan).
+    pub fn warning(rule: Rule, node: Option<usize>, explanation: String) -> Self {
         Self {
             rule,
             severity: Severity::Warning,
             node,
-            message,
+            span: None,
+            explanation,
+        }
+    }
+
+    /// An error anchored to a source location (the lint rules).
+    pub fn error_at(rule: Rule, span: Span, explanation: String) -> Self {
+        Self {
+            rule,
+            severity: Severity::Error,
+            node: None,
+            span: Some(span),
+            explanation,
         }
     }
 }
@@ -120,21 +248,29 @@ impl fmt::Display for Diagnostic {
             Severity::Error => "error",
         };
         write!(f, "{sev}[{}]", self.rule.name())?;
-        if let Some(n) = self.node {
+        if let Some(s) = &self.span {
+            write!(f, " @ {}:{}", s.file, s.line)?;
+        } else if let Some(n) = self.node {
             write!(f, " @ node {n}")?;
         }
-        write!(f, ": {}", self.message)
+        write!(f, ": {}", self.explanation)
     }
 }
 
-/// Runs rules 1–4 over one DAG and returns every finding (errors first
-/// is *not* guaranteed; filter on [`Diagnostic::severity`]).
+/// Runs every DAG rule (shape, virtual safety, fusion legality,
+/// semirings, determinism, FP-stability, alias legality, precision
+/// safety) over one DAG and returns every finding (errors first is *not*
+/// guaranteed; filter on [`Diagnostic::severity`]).
 pub fn validate(dag: &Dag) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     check_shapes(dag, &mut diags);
     check_virtual_safety(dag, &mut diags);
     check_fusion_legality(dag, &mut diags);
     check_semirings(dag, &mut diags);
+    determinism::check(dag, &mut diags);
+    stability::check(dag, &mut diags);
+    alias::check(dag, &mut diags);
+    precision::check(dag, &mut diags);
     diags
 }
 
@@ -325,6 +461,49 @@ pub fn debug_validate(kind: ModelKind) {
         "static analysis rejected the {kind:?} plan:\n{}",
         errors.join("\n")
     );
+}
+
+/// Model-construction analysis hook driven by `ATGNN_ANALYZE`.
+///
+/// * unset — [`debug_validate`] under `debug_assertions` only (release
+///   builds skip analysis entirely);
+/// * `report` / `1` — run the full analysis in any build, print each
+///   diagnostic plus a one-line summary to stderr;
+/// * `deny` — run the full analysis in any build and panic on *any*
+///   diagnostic, warnings included.
+pub fn env_validate(kind: ModelKind) {
+    #[cfg(debug_assertions)]
+    debug_validate(kind);
+    match std::env::var("ATGNN_ANALYZE").as_deref() {
+        Ok("report") | Ok("1") => {
+            let diags = validate_model(kind);
+            for d in &diags {
+                eprintln!("atgnn-analyze: {d}");
+            }
+            let proofs: usize = model_dags(kind)
+                .iter()
+                .map(|d| determinism::proofs(d).len())
+                .sum();
+            eprintln!(
+                "atgnn-analyze: {kind:?}: {} diagnostic(s), {proofs} reduction(s) \
+                 proven order-invariant",
+                diags.len()
+            );
+        }
+        Ok("deny") => {
+            let diags = validate_model(kind);
+            assert!(
+                diags.is_empty(),
+                "ATGNN_ANALYZE=deny: the {kind:?} plan has diagnostics:\n{}",
+                diags
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+        _ => {}
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -857,6 +1036,32 @@ pub mod comm {
     /// leave the `O(nk/√p)` regime — e.g. degenerate 1D grids — fire.
     pub const BOUND_SLACK: f64 = 2.0;
 
+    /// The grid shape minimizing [`layer_volume_words`] for `p` ranks.
+    ///
+    /// The volume's grid-dependent part is `nk·(1/Px + 1/Py)`, so the
+    /// minimizer is the most-square factorization of `p` independent of
+    /// `n` and `k`. This is THE cost function for grid-shape decisions:
+    /// the distributed planner's `Grid::from_ranks` consults it rather
+    /// than carrying its own square-root heuristic, and a regression
+    /// test pins the two against the net-simulator volume predictor.
+    pub fn best_grid(p: usize) -> GridSpec {
+        assert!(p > 0, "a grid needs at least one rank");
+        let mut best = GridSpec::new(1, p);
+        let mut best_cost = 1.0 + 1.0 / p as f64;
+        for px in 2..=p {
+            if !p.is_multiple_of(px) {
+                continue;
+            }
+            let py = p / px;
+            let cost = 1.0 / px as f64 + 1.0 / py as f64;
+            if cost < best_cost {
+                best = GridSpec::new(px, py);
+                best_cost = cost;
+            }
+        }
+        best
+    }
+
     /// Lints a per-layer plan: returns a diagnostic when the estimated
     /// volume exceeds [`BOUND_SLACK`]× the paper's global bound.
     pub fn check_grid(n: usize, k_in: usize, k_out: usize, grid: GridSpec) -> Option<Diagnostic> {
@@ -959,7 +1164,11 @@ mod tests {
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].rule, Rule::ShapeMismatch);
         assert_eq!(errs[0].node, Some(2));
-        assert!(errs[0].message.contains("cannot contract"), "{}", errs[0]);
+        assert!(
+            errs[0].explanation.contains("cannot contract"),
+            "{}",
+            errs[0]
+        );
     }
 
     #[test]
@@ -970,7 +1179,7 @@ mod tests {
         let diags = validate(&d);
         assert!(diags
             .iter()
-            .any(|x| x.rule == Rule::ShapeMismatch && x.message.contains("sparse")));
+            .any(|x| x.rule == Rule::ShapeMismatch && x.explanation.contains("sparse")));
     }
 
     #[test]
@@ -983,7 +1192,11 @@ mod tests {
         let diags = validate(&d);
         let errs = errors(&diags);
         assert_eq!(errs.len(), 1);
-        assert!(errs[0].message.contains("do not compose"), "{}", errs[0]);
+        assert!(
+            errs[0].explanation.contains("do not compose"),
+            "{}",
+            errs[0]
+        );
     }
 
     #[test]
@@ -997,7 +1210,7 @@ mod tests {
         let errs = errors(&diags);
         assert_eq!(errs.len(), 1);
         assert!(
-            errs[0].message.contains("declared output shape"),
+            errs[0].explanation.contains("declared output shape"),
             "{}",
             errs[0]
         );
@@ -1012,7 +1225,7 @@ mod tests {
         let diags = validate(&d);
         let errs = errors(&diags);
         assert_eq!(errs.len(), 1);
-        assert!(errs[0].message.contains("disagree"), "{}", errs[0]);
+        assert!(errs[0].explanation.contains("disagree"), "{}", errs[0]);
     }
 
     #[test]
@@ -1041,7 +1254,7 @@ mod tests {
         let diags = validate(&d);
         let errs = errors(&diags);
         assert_eq!(errs.len(), 1);
-        assert!(errs[0].message.contains("do not chain"), "{}", errs[0]);
+        assert!(errs[0].explanation.contains("do not chain"), "{}", errs[0]);
     }
 
     // Rule 2 ----------------------------------------------------------
@@ -1060,7 +1273,7 @@ mod tests {
         // One escape plus the region never reaching a sparse sampler.
         assert_eq!(unfused.len(), 2);
         assert!(
-            unfused[0].message.contains("materialized"),
+            unfused[0].explanation.contains("materialized"),
             "{}",
             unfused[0]
         );
@@ -1075,7 +1288,7 @@ mod tests {
         let errs = errors(&diags);
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].rule, Rule::UnfusedVirtual);
-        assert!(errs[0].message.contains("never sampled"), "{}", errs[0]);
+        assert!(errs[0].explanation.contains("never sampled"), "{}", errs[0]);
     }
 
     // Rule 3 ----------------------------------------------------------
@@ -1099,7 +1312,7 @@ mod tests {
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].rule, Rule::IllegalFusion);
         assert_eq!(errs[0].node, Some(v2));
-        assert!(errs[0].message.contains("element-wise"), "{}", errs[0]);
+        assert!(errs[0].explanation.contains("element-wise"), "{}", errs[0]);
     }
 
     #[test]
@@ -1137,7 +1350,7 @@ mod tests {
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].rule, Rule::SemiringBackward);
         assert_eq!(errs[0].node, Some(agg));
-        assert!(errs[0].message.contains("min-plus"), "{}", errs[0]);
+        assert!(errs[0].explanation.contains("min-plus"), "{}", errs[0]);
     }
 
     #[test]
@@ -1191,7 +1404,7 @@ mod tests {
             .expect("1D partition must exceed the O(nk/sqrt(p)) bound");
         assert_eq!(diag.rule, Rule::CommVolume);
         assert_eq!(diag.severity, Severity::Warning);
-        assert!(diag.message.contains("rebalance"), "{diag}");
+        assert!(diag.explanation.contains("rebalance"), "{diag}");
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod optimizer;
 pub mod plan;
 pub mod train;
 
-pub use analyze::{Diagnostic, Rule, Severity};
+pub use analyze::{Diagnostic, Rule, Severity, Span};
 pub use layer::{AGnnLayer, Gradients, LayerCache};
 pub use model::{GnnModel, ModelKind};
 pub use plan::{AttentionExec, ExecPlan, ReorderStrategy, Reordering};

@@ -135,11 +135,11 @@ impl<T: Scalar> GnnModel<T> {
     /// non-linearity), matching common GNN practice.
     pub fn uniform(kind: ModelKind, dims: &[usize], activation: Activation, seed: u64) -> Self {
         assert!(dims.len() >= 2, "need at least one layer (two dims)");
-        // Plan-time static analysis: in debug builds, reject model kinds
-        // whose canned execution DAGs fail shape/virtual-tensor/fusion/
-        // semiring validation before any kernel runs.
-        #[cfg(debug_assertions)]
-        crate::analyze::debug_validate(kind);
+        // Plan-time static analysis: reject model kinds whose canned
+        // execution DAGs fail validation before any kernel runs — always
+        // in debug builds, and in release builds when `ATGNN_ANALYZE`
+        // requests a report or deny pass.
+        crate::analyze::env_validate(kind);
         let mut layers: Vec<Box<dyn AGnnLayer<T>>> = Vec::with_capacity(dims.len() - 1);
         for (l, w) in dims.windows(2).enumerate() {
             let act = if l + 2 == dims.len() {

@@ -40,15 +40,24 @@ pub struct Grid {
 impl Grid {
     /// Builds the grid for `p` ranks, or a typed [`GridError`] when `p`
     /// is zero or not a perfect square.
+    ///
+    /// The shape comes from the analyzer's communication cost function
+    /// ([`atgnn::analyze::comm::best_grid`]) — one estimator shared with
+    /// the plan-time comm-volume lint — rather than a local square-root
+    /// heuristic. The volume-minimizing factorization of a perfect
+    /// square is always the square grid, so accepted rank counts behave
+    /// exactly as before; a rank count whose best factorization is
+    /// rectangular is rejected, because the runtime's broadcast/reduce
+    /// teams assume `Px = Py`.
     pub fn from_ranks(p: usize) -> Result<Self, GridError> {
         if p == 0 {
             return Err(GridError::ZeroRanks);
         }
-        let q = (p as f64).sqrt().round() as usize;
-        if q * q != p {
+        let best = atgnn::analyze::comm::best_grid(p);
+        if best.px != best.py {
             return Err(GridError::NotSquare(p));
         }
-        Ok(Self { q })
+        Ok(Self { q: best.px })
     }
 
     /// Total rank count `p = q²`.

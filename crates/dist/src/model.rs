@@ -69,6 +69,21 @@ pub enum DistLayer<T: Scalar> {
 }
 
 impl<T: Scalar> DistLayer<T> {
+    /// The canned tensor DAG this layer executes, when one exists.
+    ///
+    /// Multi-head GAT runs the single-head GAT DAG once per head, so it
+    /// maps to [`ModelKind::Gat`]; GIN has no canned attentional DAG
+    /// (it is a plain message-passing MLP) and returns `None`.
+    pub fn kind(&self) -> Option<ModelKind> {
+        match self {
+            DistLayer::Va { .. } => Some(ModelKind::Va),
+            DistLayer::Agnn { .. } => Some(ModelKind::Agnn),
+            DistLayer::Gat { .. } | DistLayer::GatMultiHead { .. } => Some(ModelKind::Gat),
+            DistLayer::Gcn { .. } => Some(ModelKind::Gcn),
+            DistLayer::Gin { .. } => None,
+        }
+    }
+
     /// `(k_in, k_out)` of this layer's projection, when it has one.
     /// Only the debug-build comm-volume check needs it.
     #[cfg(debug_assertions)]
@@ -248,10 +263,11 @@ impl<T: Scalar> DistGnnModel<T> {
     /// [`atgnn::GnnModel::uniform`] called with the same arguments —
     /// the distributed-equals-sequential tests rely on this.
     pub fn uniform(kind: ModelKind, dims: &[usize], activation: Activation, seed: u64) -> Self {
-        // The distributed plan runs the same canned execution DAGs; in
-        // debug builds, reject them before allocating any rank state.
-        #[cfg(debug_assertions)]
-        atgnn::analyze::debug_validate(kind);
+        // The distributed plan runs the same canned execution DAGs;
+        // `ATGNN_ANALYZE=deny|report` inspects them before allocating
+        // any rank state (debug builds always re-verify via the layer
+        // comm-volume check below).
+        atgnn::analyze::env_validate(kind);
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for (l, w) in dims.windows(2).enumerate() {
             let act = if l + 2 == dims.len() {
@@ -297,6 +313,34 @@ impl<T: Scalar> DistGnnModel<T> {
     pub fn with_exec(mut self, exec: AttentionExec) -> Self {
         self.exec = exec;
         self
+    }
+
+    /// Runs the plan-time analyzer over every distinct layer DAG this
+    /// model will execute, under its configured [`AttentionExec`].
+    ///
+    /// Returns every diagnostic the abstract interpreter produces
+    /// (determinism, FP-stability, aliasing, precision, plus the plan
+    /// structure checks); an empty vector means the run is proven safe.
+    /// Layers without a canned DAG (GIN) are skipped — their kernels are
+    /// covered by the kernel-level tests, not the DAG analyzer.
+    pub fn verify_plan(&self) -> Vec<atgnn::Diagnostic> {
+        let plan = match self.exec {
+            AttentionExec::FusedOnePass => ExecPlan::fused(),
+            AttentionExec::Staged => ExecPlan::staged(),
+        };
+        let mut kinds: Vec<ModelKind> = Vec::new();
+        for (layer, _) in &self.layers {
+            if let Some(k) = layer.kind() {
+                if !kinds.contains(&k) {
+                    kinds.push(k);
+                }
+            }
+        }
+        let mut diags = Vec::new();
+        for k in kinds {
+            diags.extend(atgnn::analyze::validate_plan(&plan, k));
+        }
+        diags
     }
 
     /// Number of layers.
@@ -490,6 +534,43 @@ mod tests {
         ModelKind::Gat,
         ModelKind::Gcn,
     ];
+
+    #[test]
+    fn every_fused_dist_plan_verifies_clean() {
+        for kind in KINDS {
+            let model = DistGnnModel::<f64>::uniform(kind, &[6, 5, 4], Activation::Relu, 7)
+                .with_exec(AttentionExec::FusedOnePass);
+            let diags = model.verify_plan();
+            assert!(diags.is_empty(), "{kind:?}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn staged_dist_plans_warn_about_materialization() {
+        use atgnn::Severity;
+        let model = DistGnnModel::<f64>::uniform(ModelKind::Gat, &[6, 5], Activation::Relu, 7)
+            .with_exec(AttentionExec::Staged);
+        let diags = model.verify_plan();
+        assert!(!diags.is_empty(), "staged GAT should warn");
+        assert!(
+            diags.iter().all(|d| d.severity == Severity::Warning),
+            "staged materialization is a warning, not an error: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn layer_kinds_map_back_to_their_dags() {
+        for kind in KINDS {
+            let model = DistGnnModel::<f64>::uniform(kind, &[4, 3], Activation::Relu, 1);
+            assert_eq!(model.layers[0].0.kind(), Some(kind));
+        }
+        let gin = DistLayer::<f64>::Gin {
+            w1: Dense::zeros(3, 3),
+            w2: Dense::zeros(3, 3),
+            eps: 0.0,
+        };
+        assert_eq!(gin.kind(), None);
+    }
 
     #[test]
     fn distributed_inference_equals_sequential() {

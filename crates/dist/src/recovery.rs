@@ -104,6 +104,21 @@ pub fn train_mse_with_recovery<T: Scalar>(
     assert!(steps > 0, "a training run needs at least one step");
     assert!(cfg.ckpt_every > 0, "checkpoint cadence must be positive");
     assert!(cfg.max_attempts > 0, "at least one attempt is needed");
+    // Verify the execution plan once, on the supervisor, before any rank
+    // spends a step on it: a plan the abstract interpreter rejects would
+    // fail identically on every attempt, so recovery cannot help.
+    #[cfg(debug_assertions)]
+    {
+        let errs: Vec<_> = make_model()
+            .verify_plan()
+            .into_iter()
+            .filter(|d| d.severity == atgnn::Severity::Error)
+            .collect();
+        assert!(
+            errs.is_empty(),
+            "plan verifier rejected the model: {errs:?}"
+        );
+    }
     std::fs::remove_file(&cfg.ckpt_path).ok();
     let mut active_plan = plan.clone();
     let mut attempts = 0u32;

@@ -1,0 +1,468 @@
+//! `atgnn-lint`: the workspace's source-hygiene lint engine.
+//!
+//! Replaces the grep/awk lint sections `ci.sh` used to carry with a real
+//! scanner that understands enough Rust to avoid their failure modes:
+//!
+//! * string literals and comments are stripped before pattern matching,
+//!   so a comment *mentioning* `.unwrap()` no longer needs shell-quoting
+//!   contortions to stay out of its own lint;
+//! * `#[cfg(test)]` modules are skipped by brace tracking. The awk
+//!   predecessor (`awk '/#\[cfg\(test\)\]/{exit}'`) stopped scanning at
+//!   the **first** test module, silently exempting every line after it —
+//!   including non-test code. The scanner resumes after the module's
+//!   closing brace;
+//! * findings can be suppressed per line with an explicit
+//!   `// atgnn-lint: allow(rule-name)` annotation (same line or the line
+//!   directly above), so exemptions live next to the code they excuse
+//!   instead of in shell case statements.
+//!
+//! Findings are reported through the analyzer's own typed
+//! [`Diagnostic`] stream, anchored by [`Span`]s (file + line) instead of
+//! DAG node ids. The five rules and their scopes mirror the retired
+//! shell lints — see [`rules`] for the rationale of each.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use atgnn::analyze::{Diagnostic, Rule, Severity, Span};
+
+/// One source-scanning rule: a pattern, a file scope, and the policy
+/// text shown when it fires.
+pub struct SourceRule {
+    /// The analyzer rule this lint reports as.
+    pub rule: Rule,
+    /// Whether a workspace-relative path (forward slashes) is in scope.
+    pub in_scope: fn(&str) -> bool,
+    /// Whether a stripped source line violates the rule.
+    pub matches: fn(&str) -> bool,
+    /// Skip `#[cfg(test)]` modules (policy rules exempting tests).
+    pub skip_tests: bool,
+    /// Why the pattern is forbidden, appended to each finding.
+    pub why: &'static str,
+}
+
+fn in_kernel_crates(path: &str) -> bool {
+    path.starts_with("crates/sparse/src/") || path.starts_with("crates/tensor/src/")
+}
+
+fn is_attention_layer_file(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/core/src/layers/va.rs"
+            | "crates/core/src/layers/agnn.rs"
+            | "crates/core/src/layers/gat.rs"
+            | "crates/dist/src/layers.rs"
+    )
+}
+
+// The patterns are assembled from concatenated pieces so this file's own
+// literals cannot trip the rules when the scanner walks crates/lint.
+fn unwrap_pat() -> String {
+    format!(".unwr{}", "ap()")
+}
+fn permute_pat() -> String {
+    format!(".perm{}", "ute(")
+}
+fn recv_pat() -> String {
+    format!("recv_unbo{}", "unded(")
+}
+fn softmax_pat() -> String {
+    format!("masked::row_soft{}", "max(")
+}
+
+/// The workspace's source-hygiene rules.
+pub fn rules() -> Vec<SourceRule> {
+    vec![
+        SourceRule {
+            rule: Rule::UnwrapInKernels,
+            in_scope: in_kernel_crates,
+            matches: |line| line.contains(unwrap_pat().as_str()),
+            skip_tests: true,
+            why: "kernel code must propagate or assert with context \
+                  (Result or expect()), not unwrap",
+        },
+        SourceRule {
+            rule: Rule::RawThreads,
+            in_scope: |p| in_kernel_crates(p) && !p.ends_with("/rt.rs"),
+            matches: |line| line.contains("thread::spawn") || line.contains("thread::scope"),
+            skip_tests: false,
+            why: "kernel parallelism goes through the persistent \
+                  atgnn_tensor::rt pool so thread counts, nnz-balanced \
+                  scheduling and determinism stay centralized",
+        },
+        SourceRule {
+            rule: Rule::StagedBypass,
+            in_scope: is_attention_layer_file,
+            matches: |line| line.contains("fused::") || line.contains(softmax_pat().as_str()),
+            skip_tests: false,
+            why: "layer code must dispatch attention through \
+                  atgnn_sparse::attention + ExecPlan; direct staged-kernel \
+                  calls silently lose the one-pass path",
+        },
+        SourceRule {
+            rule: Rule::PermuteLayering,
+            in_scope: |p| {
+                !matches!(
+                    p,
+                    "crates/sparse/src/csr.rs"
+                        | "crates/core/src/plan.rs"
+                        | "crates/dist/src/context.rs"
+                )
+            },
+            matches: |line| line.contains(permute_pat().as_str()),
+            skip_tests: true,
+            why: "graph reordering is a plan-time decision; kernels and \
+                  layers stay permutation-oblivious (route through \
+                  ExecPlan::reorder_graph)",
+        },
+        SourceRule {
+            rule: Rule::UnboundedRecv,
+            in_scope: |p| p.starts_with("crates/dist/src/"),
+            matches: |line| line.contains(recv_pat().as_str()),
+            skip_tests: false,
+            why: "distributed code must use the deadline-bounded, \
+                  self-healing Comm::recv; the legacy unbounded recv \
+                  hangs forever on a lost frame",
+        },
+    ]
+}
+
+/// Per-line scanner state for one file.
+struct Scanner {
+    /// Brace depth across the whole file.
+    depth: i64,
+    /// Inside a `/* ... */` comment.
+    in_block_comment: bool,
+    /// Saw `#[cfg(test)]`, waiting for the item it annotates.
+    pending_test_attr: bool,
+    /// Skipping a test module until depth returns to this value.
+    skip_above: Option<i64>,
+}
+
+/// One processed source line.
+struct ScannedLine {
+    /// The line with comments and string/char literals blanked out.
+    stripped: String,
+    /// Rules allowed on this line via `atgnn-lint: allow(...)`.
+    allows: Vec<Rule>,
+    /// Whether the line is inside a `#[cfg(test)]` module.
+    in_test: bool,
+}
+
+impl Scanner {
+    fn new() -> Self {
+        Self {
+            depth: 0,
+            in_block_comment: false,
+            pending_test_attr: false,
+            skip_above: None,
+        }
+    }
+
+    /// Strips comments and literals from one raw line, updating brace
+    /// depth and test-module tracking.
+    fn line(&mut self, raw: &str) -> ScannedLine {
+        let allows = parse_allows(raw);
+        let entry_depth = self.depth;
+        let in_test_at_entry = self.skip_above.is_some();
+        let mut out = String::with_capacity(raw.len());
+        let mut chars = raw.chars().peekable();
+        let mut in_string = false;
+        let mut in_char = false;
+        while let Some(c) = chars.next() {
+            if self.in_block_comment {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    self.in_block_comment = false;
+                }
+                continue;
+            }
+            if in_string {
+                match c {
+                    '\\' => {
+                        chars.next();
+                    }
+                    '"' => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            if in_char {
+                match c {
+                    '\\' => {
+                        chars.next();
+                    }
+                    '\'' => in_char = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '/' if chars.peek() == Some(&'/') => break, // line comment
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    self.in_block_comment = true;
+                }
+                '"' => {
+                    in_string = true;
+                    out.push(' ');
+                }
+                // A lifetime/label tick is followed by an alphanumeric
+                // char and no closing quote soon; treat `'x'`-style char
+                // literals only when the next-next char closes them.
+                '\'' => {
+                    let mut look = chars.clone();
+                    let first = look.next();
+                    let is_char_lit = match first {
+                        Some('\\') => true,
+                        Some(_) => look.next() == Some('\''),
+                        None => false,
+                    };
+                    if is_char_lit {
+                        in_char = true;
+                    }
+                    out.push(' ');
+                }
+                '{' => {
+                    self.depth += 1;
+                    out.push(c);
+                }
+                '}' => {
+                    self.depth -= 1;
+                    out.push(c);
+                    if let Some(limit) = self.skip_above {
+                        if self.depth <= limit {
+                            self.skip_above = None;
+                        }
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        // Strings spanning lines (multiline literals) stay stripped.
+        // (Raw strings with embedded quotes are out of scope: the
+        // workspace style keeps lint-sensitive patterns out of them.)
+        let trimmed = out.trim();
+        if trimmed.contains("#[cfg(test)]") {
+            self.pending_test_attr = true;
+        } else if self.pending_test_attr && !trimmed.is_empty() {
+            if trimmed.starts_with("#[") {
+                // Another attribute between cfg(test) and the item.
+            } else {
+                if trimmed.starts_with("mod ") && raw.contains('{') {
+                    // Skip until the module's closing brace returns the
+                    // depth to what it was before this line.
+                    self.skip_above = Some(entry_depth);
+                }
+                self.pending_test_attr = false;
+            }
+        }
+        ScannedLine {
+            stripped: out,
+            allows,
+            in_test: in_test_at_entry || self.skip_above.is_some(),
+        }
+    }
+}
+
+/// Parses `atgnn-lint: allow(rule-a, rule-b)` annotations out of a raw
+/// line's comment.
+fn parse_allows(raw: &str) -> Vec<Rule> {
+    let Some(idx) = raw.find("atgnn-lint:") else {
+        return Vec::new();
+    };
+    let rest = &raw[idx + "atgnn-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return Vec::new();
+    };
+    let Some(close) = rest[open..].find(')') else {
+        return Vec::new();
+    };
+    rest[open + "allow(".len()..open + close]
+        .split(',')
+        .filter_map(|name| Rule::from_name(name.trim()))
+        .collect()
+}
+
+/// Lints one file's contents; `rel` is its workspace-relative path.
+pub fn scan_source(rel: &str, contents: &str, rules: &[SourceRule]) -> Vec<Diagnostic> {
+    let active: Vec<&SourceRule> = rules.iter().filter(|r| (r.in_scope)(rel)).collect();
+    if active.is_empty() {
+        return Vec::new();
+    }
+    let mut scanner = Scanner::new();
+    let mut findings = Vec::new();
+    let mut prev_allows: Vec<Rule> = Vec::new();
+    for (i, raw) in contents.lines().enumerate() {
+        let line = scanner.line(raw);
+        for rule in &active {
+            if line.in_test && rule.skip_tests {
+                continue;
+            }
+            if !(rule.matches)(&line.stripped) {
+                continue;
+            }
+            if line.allows.contains(&rule.rule) || prev_allows.contains(&rule.rule) {
+                continue;
+            }
+            findings.push(Diagnostic::error_at(
+                rule.rule,
+                Span {
+                    file: rel.to_string(),
+                    line: i + 1,
+                },
+                format!("forbidden pattern: {}", rule.why),
+            ));
+        }
+        prev_allows = line.allows;
+    }
+    findings
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `crates/*/src/**.rs` file under the workspace root.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let rules = rules();
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let contents = fs::read_to_string(&file)?;
+        findings.extend(scan_source(&rel, &contents, &rules));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: &str, src: &str) -> Vec<Diagnostic> {
+        scan_source(rel, src, &rules())
+    }
+
+    #[test]
+    fn unwrap_in_kernel_code_is_flagged() {
+        let src = "fn f() {\n    let x = y.unwrap();\n}\n";
+        let found = scan("crates/sparse/src/spmm.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::UnwrapInKernels);
+        assert_eq!(
+            found[0].span,
+            Some(Span {
+                file: "crates/sparse/src/spmm.rs".into(),
+                line: 2
+            })
+        );
+        // Out-of-scope crates are untouched.
+        assert!(scan("crates/core/src/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        assert!(scan("crates/sparse/src/spmm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scanning_resumes_after_the_test_module() {
+        // The retired awk strip stopped at the FIRST test module and
+        // never saw this trailing violation.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n\
+                   fn after() { y.unwrap(); }\n";
+        let found = scan("crates/tensor/src/micro.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].span.as_ref().map(|s| s.line), Some(5));
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        let src = "// calls .unwrap() internally\n\
+                   fn f() { let s = \".unwrap()\"; }\n\
+                   /* .unwrap() in a block comment */\n";
+        assert!(scan("crates/sparse/src/csr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_same_and_next_line() {
+        let same = "fn f() { y.unwrap(); } // atgnn-lint: allow(unwrap-in-kernels)\n";
+        assert!(scan("crates/sparse/src/spmm.rs", same).is_empty());
+        let above = "// atgnn-lint: allow(unwrap-in-kernels)\nfn f() { y.unwrap(); }\n";
+        assert!(scan("crates/sparse/src/spmm.rs", above).is_empty());
+        let wrong = "// atgnn-lint: allow(raw-threads)\nfn f() { y.unwrap(); }\n";
+        assert_eq!(scan("crates/sparse/src/spmm.rs", wrong).len(), 1);
+    }
+
+    #[test]
+    fn raw_threads_flagged_even_in_tests_but_not_in_rt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
+        assert_eq!(scan("crates/tensor/src/par.rs", src).len(), 1);
+        assert!(scan("crates/tensor/src/rt.rs", src).is_empty());
+    }
+
+    #[test]
+    fn staged_bypass_only_in_layer_files() {
+        let src = "fn f() { fused::attention_forward(); }\n";
+        assert_eq!(scan("crates/core/src/layers/gat.rs", src).len(), 1);
+        assert!(scan("crates/core/src/plan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn permute_exempts_the_plan_layer() {
+        let src = format!("fn f() {{ a{}b); }}\n", permute_pat());
+        assert_eq!(scan("crates/core/src/layers/gat.rs", &src).len(), 1);
+        assert!(scan("crates/core/src/plan.rs", &src).is_empty());
+        assert!(scan("crates/sparse/src/csr.rs", &src).is_empty());
+        assert!(scan("crates/dist/src/context.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_recv_only_in_dist() {
+        let src = format!("fn f() {{ comm.{}0); }}\n", recv_pat());
+        assert_eq!(scan("crates/dist/src/engine.rs", &src).len(), 1);
+        assert!(scan("crates/net/src/comm.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn the_workspace_is_lint_clean() {
+        // Walk up from the crate dir to the workspace root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let findings = scan_workspace(root).expect("scan");
+        assert!(
+            findings.is_empty(),
+            "workspace has lint findings:\n{}",
+            findings
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

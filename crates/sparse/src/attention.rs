@@ -70,6 +70,31 @@ pub enum AttentionExec {
     Staged,
 }
 
+impl AttentionExec {
+    /// Whether this execution path materializes the n×n score/attention
+    /// matrices as real `Csr` allocations. The fused one-pass sweep keeps
+    /// score rows in per-thread scratch, so the alias analysis treats its
+    /// in-sandwich virtual tensors as buffer-free.
+    pub fn materializes_scores(self) -> bool {
+        matches!(self, AttentionExec::Staged)
+    }
+
+    /// Human-readable name used in diagnostics and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttentionExec::FusedOnePass => "fused",
+            AttentionExec::Staged => "staged",
+        }
+    }
+}
+
+/// Schedule fact for the fused sweep's aggregation: neighbors accumulate
+/// in ascending CSR storage order per output element, identical to
+/// [`crate::spmm::spmm`], and tile size only reorders the *outer* column
+/// loop ([`aggregate_row`]'s axpy is elementwise). Consumed by the
+/// plan-time determinism analysis.
+pub const SWEEP_ORDER: rt::ReductionOrder = rt::ReductionOrder::RowSequential;
+
 /// The result of one fused attention forward sweep.
 pub struct FusedAttention<T: Scalar> {
     /// The aggregation `softmax(C) @ H'` (raw scores for VA, which has no

@@ -169,6 +169,14 @@ pub fn scale_cols<T: Scalar>(x: &Csr<T>, s: &[T]) -> Csr<T> {
     out
 }
 
+/// Kernel fact for the FP-stability analysis: every softmax in this crate
+/// ([`row_softmax`], the fused sweep's streaming softmax) shifts by the
+/// row maximum before exponentiating, so `exp` arguments are `≤ 0` and the
+/// kernel cannot overflow regardless of the score magnitude. A DAG node
+/// labeled `row_softmax` therefore gets the safe transfer function; raw
+/// `exp` chains without a preceding max-subtraction do not.
+pub const ROW_SOFTMAX_MAX_SHIFTED: bool = true;
+
 /// The graph softmax `sm(X) = exp(X) ⊘ rs_n(exp(X))` of Section 4.2,
 /// applied over each vertex neighborhood (each stored row), with the usual
 /// row-max shift for numerical stability. Rows without stored entries are

@@ -65,6 +65,31 @@ impl SemiringKind {
             SemiringKind::MinPlus | SemiringKind::MaxPlus => false,
         }
     }
+
+    /// Whether `op₁` is insensitive to evaluation order in floating point.
+    ///
+    /// `min`/`max` are idempotent, commutative and associative *exactly*
+    /// (no rounding), so any parallel reduction tree yields bit-identical
+    /// results. `+` rounds, so order-insensitivity must instead be proven
+    /// from the schedule (see the determinism analysis in
+    /// `atgnn::analyze`).
+    pub fn order_insensitive(self) -> bool {
+        match self {
+            SemiringKind::MinPlus | SemiringKind::MaxPlus => true,
+            SemiringKind::Real | SemiringKind::Average => false,
+        }
+    }
+
+    /// Whether narrowing element storage requires a widened accumulator:
+    /// `Real`/`Average` sum many rounded products (error grows with
+    /// degree), while `min`/`max` select a stored value exactly. Drives
+    /// the precision-safety verdicts in `atgnn::analyze::precision`.
+    pub fn needs_wide_accumulator(self) -> bool {
+        match self {
+            SemiringKind::Real | SemiringKind::Average => true,
+            SemiringKind::MinPlus | SemiringKind::MaxPlus => false,
+        }
+    }
 }
 
 impl core::fmt::Display for SemiringKind {

@@ -41,6 +41,18 @@ static SPMM_T_CHUNKS: Tunable = Tunable::new("ATGNN_SPMMT_CHUNKS", 0);
 /// parallel path at all).
 const SPMM_T_MIN_CHUNKS: usize = 8;
 
+/// Schedule fact for the gather-style kernels (`spmm`, `spmmm`, `mspmm`):
+/// each output row is produced by exactly one chunk and its reduction
+/// runs over stored entries in ascending CSR order, so the rounding
+/// sequence of every element is a function of the data alone. Consumed by
+/// the plan-time determinism analysis (`atgnn::analyze::determinism`).
+pub const GATHER_ORDER: rt::ReductionOrder = rt::ReductionOrder::RowSequential;
+
+/// Schedule fact for the scatter-style `spmm_t`: size-derived partial
+/// buffers ([`spmm_t_chunk_count`] — never a thread-count function,
+/// `ATGNN_SPMMT_CHUNKS` included) merged pairwise in a fixed tree order.
+pub const SCATTER_ORDER: rt::ReductionOrder = rt::ReductionOrder::FixedTree;
+
 /// Number of partial buffers for the parallel `spmm_t` scatter, derived
 /// from the problem size only (never the thread count) so the reduction
 /// tree — and therefore the floating-point result — is bit-identical

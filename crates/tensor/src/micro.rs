@@ -75,6 +75,19 @@ pub fn blocked() -> bool {
     mode() == MicroKernel::Blocked
 }
 
+/// The accumulation-order fact of the active dot-product kernel, for the
+/// plan-time determinism analysis: the blocked kernel groups into four
+/// fixed lanes (a function of the operand slice alone), the scalar kernel
+/// runs one ascending sum. Both are invariant of thread count and tile
+/// size — [`axpy`] is strictly elementwise in either mode, so aggregation
+/// tiling never changes an element's rounding sequence.
+pub fn accumulation_order() -> crate::rt::ReductionOrder {
+    match mode() {
+        MicroKernel::Blocked => crate::rt::ReductionOrder::FixedLanes,
+        MicroKernel::Scalar => crate::rt::ReductionOrder::RowSequential,
+    }
+}
+
 /// Dot product `Σ x[i]·y[i]`, dispatching on the kernel mode.
 #[inline]
 pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {

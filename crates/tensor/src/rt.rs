@@ -44,6 +44,59 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
 
 // ---------------------------------------------------------------------
+// Schedule facts
+// ---------------------------------------------------------------------
+
+/// How a kernel's floating-point accumulation order is pinned down — the
+/// *schedule fact* the plan-time determinism analysis
+/// (`atgnn::analyze::determinism`) consumes to prove bit-identity across
+/// `ATGNN_THREADS` settings.
+///
+/// Each kernel in the workspace registers the order it guarantees; the
+/// analyzer refuses to certify aggregation nodes whose kernel reports
+/// [`ReductionOrder::Unspecified`], because their rounding sequence could
+/// depend on thread count or chunk boundaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReductionOrder {
+    /// Every output element is produced by exactly one chunk, and the
+    /// reduction over its inputs runs in ascending stored order (CSR
+    /// entry order). Chunk boundaries only move *between* output
+    /// elements, so the rounding sequence of each element is a function
+    /// of the data alone.
+    RowSequential,
+    /// Partial results are produced over a chunking derived from the
+    /// problem size only ([`fixed_chunks`] — never from the thread
+    /// count) and merged pairwise in a fixed tree order.
+    FixedTree,
+    /// A fixed small-lane accumulator grouping (e.g. the 4-lane blocked
+    /// dot product) that is a function of the operand slice alone —
+    /// independent of which thread evaluates it.
+    FixedLanes,
+    /// No registered order guarantee: the accumulation order may depend
+    /// on scheduling, so bit-identity across thread counts cannot be
+    /// proven.
+    Unspecified,
+}
+
+impl ReductionOrder {
+    /// Whether this order is provably invariant of the active thread
+    /// count and chunk boundaries (everything but [`Self::Unspecified`]).
+    pub fn thread_invariant(self) -> bool {
+        !matches!(self, ReductionOrder::Unspecified)
+    }
+
+    /// Short name used in analysis reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReductionOrder::RowSequential => "row-sequential",
+            ReductionOrder::FixedTree => "fixed-tree",
+            ReductionOrder::FixedLanes => "fixed-lanes",
+            ReductionOrder::Unspecified => "unspecified",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Tunables
 // ---------------------------------------------------------------------
 

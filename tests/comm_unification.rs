@@ -1,0 +1,74 @@
+//! One communication cost function, three consumers.
+//!
+//! The analyzer's `comm` module owns the per-layer volume estimate
+//! `nk·(1/Px + 1/Py) + k·k'`. The distributed planner's grid choice
+//! (`atgnn_dist::Grid::from_ranks`), the plan-time comm-volume lint, and
+//! the net simulator's closed-form predictor must all agree with it —
+//! these tests pin the three against each other so the estimators cannot
+//! silently drift apart.
+
+use atgnn::analyze::comm::{self, GridSpec, BOUND_SLACK};
+use atgnn_dist::{Grid, GridError};
+use atgnn_net::model::predict;
+
+#[test]
+fn best_grid_of_a_perfect_square_is_the_square_grid() {
+    for p in [1usize, 4, 9, 16, 64, 256, 1024] {
+        assert_eq!(comm::best_grid(p), GridSpec::square(p), "p = {p}");
+    }
+}
+
+#[test]
+fn the_dist_planner_uses_the_analyzer_grid() {
+    // Accepted rank counts land on exactly the analyzer's best grid…
+    for p in [1usize, 4, 9, 16, 64, 256] {
+        let g = Grid::from_ranks(p).expect("perfect square");
+        let best = comm::best_grid(p);
+        assert_eq!((g.q, g.q), (best.px, best.py), "p = {p}");
+    }
+    // …and a rank count whose volume-minimizing factorization is
+    // rectangular is rejected rather than rounded.
+    for p in [2usize, 6, 8, 12, 15] {
+        let best = comm::best_grid(p);
+        assert_ne!(best.px, best.py, "p = {p} should factor rectangularly");
+        assert_eq!(Grid::from_ranks(p), Err(GridError::NotSquare(p)));
+    }
+}
+
+#[test]
+fn square_grids_sit_under_the_slacked_global_bound() {
+    let (n, k) = (4096usize, 128usize);
+    for p in [1usize, 4, 16, 64, 256] {
+        let est = comm::layer_volume_words(n, k, k, GridSpec::square(p));
+        let bound = comm::global_bound_words(n, k, k, p);
+        assert!(
+            est <= BOUND_SLACK * bound,
+            "p = {p}: estimate {est} exceeds {BOUND_SLACK}×{bound}"
+        );
+        // A degenerate 1D grid with the same rank count must NOT fit the
+        // bound once p is large enough for 1/√p ≪ 1 — that is exactly the
+        // regression the lint exists to catch.
+        if p >= 16 {
+            let row = comm::layer_volume_words(n, k, k, GridSpec::new(1, p));
+            assert!(row > BOUND_SLACK * bound, "p = {p}: 1×{p} grid slipped by");
+        }
+    }
+}
+
+#[test]
+fn analyzer_bound_matches_the_net_simulator_predictor() {
+    // The net crate's predictor uses k_in = k_out = k; with that
+    // specialization the analyzer's generalized bound must agree exactly.
+    for (n, k, p) in [
+        (1024usize, 32usize, 4usize),
+        (4096, 128, 64),
+        (65536, 256, 1024),
+    ] {
+        let analyzer = comm::global_bound_words(n, k, k, p);
+        let simulator = predict::global_volume_words(n, k, p);
+        assert!(
+            (analyzer - simulator).abs() <= 1e-9 * simulator,
+            "n={n} k={k} p={p}: analyzer {analyzer} vs simulator {simulator}"
+        );
+    }
+}
